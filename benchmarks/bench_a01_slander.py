@@ -1,0 +1,12 @@
+"""Bench A1 — slander ablation.
+
+Is slander useless? Plain DISTILL vs a slander-consuming reader, in
+honest worlds and under a smear campaign.
+
+Regenerates the A1 table of EXPERIMENTS.md (archived under
+benchmarks/results/A1.txt).
+"""
+
+
+def bench_a01_slander(run_and_record):
+    run_and_record("A1")

@@ -1,0 +1,12 @@
+"""Bench A2 — ownership coupling.
+
+Objects owned by players, dishonest self-promotion; cost follows
+Theorem 4 at the induced beta.
+
+Regenerates the A2 table of EXPERIMENTS.md (archived under
+benchmarks/results/A2.txt).
+"""
+
+
+def bench_a02_ownership(run_and_record):
+    run_and_record("A2")

@@ -1,0 +1,12 @@
+"""Bench A3 — demand pricing.
+
+Probe prices rising with vote counts: time untouched, payments scale
+with the premium, late finishers pay most.
+
+Regenerates the A3 table of EXPERIMENTS.md (archived under
+benchmarks/results/A3.txt).
+"""
+
+
+def bench_a03_pricing(run_and_record):
+    run_and_record("A3")

@@ -1,0 +1,12 @@
+"""Bench A4 — advice-mechanism ablation.
+
+DISTILL without the advice half of PROBE&SEEKADVICE: the termination
+tail grows (Lemma 6's contribution isolated).
+
+Regenerates the A4 table of EXPERIMENTS.md (archived under
+benchmarks/results/A4.txt).
+"""
+
+
+def bench_a04_advice_ablation(run_and_record):
+    run_and_record("A4")

@@ -1,0 +1,13 @@
+"""Bench A5 — oblivious vs adaptive adversaries.
+
+The adaptive split-vote adversary vs its precommitted oblivious twin:
+the adaptivity premium is below measurement resolution at engine scale
+(Step 1 dominates and its schedule is deterministic).
+
+Regenerates the A5 table of EXPERIMENTS.md (archived under
+benchmarks/results/A5.txt).
+"""
+
+
+def bench_a05_adaptivity(run_and_record):
+    run_and_record("A5")

@@ -1,0 +1,13 @@
+"""Bench A6 — sensitivity to the Figure 1 constants.
+
+A (k1, k2) grid against the adaptive split-vote adversary: the cost bowl
+is wide around small constants; the proof's k2 >= 192 overpays by an
+order of magnitude.
+
+Regenerates the A6 table of EXPERIMENTS.md (archived under
+benchmarks/results/A6.txt).
+"""
+
+
+def bench_a06_constants(run_and_record):
+    run_and_record("A6")

@@ -1,0 +1,12 @@
+"""Bench E1 — Theorem 1 collective-work lower bound.
+
+Full-cooperation urn search vs the exact (m+1)/((beta m+1) alpha n) curve
+across n and beta sweeps.
+
+Regenerates the E1 table of EXPERIMENTS.md (archived under
+benchmarks/results/E1.txt).
+"""
+
+
+def bench_e01_lower_bound_work(run_and_record):
+    run_and_record("E1")

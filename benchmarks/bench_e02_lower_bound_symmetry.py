@@ -1,0 +1,12 @@
+"""Bench E2 — Theorem 2 symmetry lower bound.
+
+DISTILL and the prior algorithm on the partition distribution {I_k};
+player 0's probes never dip below the B/2 floor.
+
+Regenerates the E2 table of EXPERIMENTS.md (archived under
+benchmarks/results/E2.txt).
+"""
+
+
+def bench_e02_lower_bound_symmetry(run_and_record):
+    run_and_record("E2")

@@ -1,0 +1,13 @@
+"""Bench E3 — Theorem 4 headline comparison.
+
+Needle-in-a-haystack worlds (m = n, one good object): DISTILL vs the
+prior asynchronous algorithm vs trivial probing, under the adaptive
+split-vote adversary.
+
+Regenerates the E3 table of EXPERIMENTS.md (archived under
+benchmarks/results/E3.txt).
+"""
+
+
+def bench_e03_distill_vs_baselines(run_and_record):
+    run_and_record("E3")

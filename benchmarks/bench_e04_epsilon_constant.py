@@ -1,0 +1,11 @@
+"""Bench E4 — Corollary 5 epsilon sweep.
+
+alpha = 1 - n^(-eps): measured rounds track the O(1/eps) curve.
+
+Regenerates the E4 table of EXPERIMENTS.md (archived under
+benchmarks/results/E4.txt).
+"""
+
+
+def bench_e04_epsilon_constant(run_and_record):
+    run_and_record("E4")

@@ -1,0 +1,12 @@
+"""Bench E5 — Lemma 7 iteration count.
+
+Worst-case splitting-game kernel to n = 2^28 plus engine runs: the
+while loop is sub-logarithmic, fitting log n / Delta.
+
+Regenerates the E5 table of EXPERIMENTS.md (archived under
+benchmarks/results/E5.txt).
+"""
+
+
+def bench_e05_iteration_count(run_and_record):
+    run_and_record("E5")

@@ -1,0 +1,12 @@
+"""Bench E6 — Theorem 11 high-probability termination.
+
+DISTILL^HP last-player termination quantiles vs the
+O(log n/(alpha beta n) + log n/alpha) curve.
+
+Regenerates the E6 table of EXPERIMENTS.md (archived under
+benchmarks/results/E6.txt).
+"""
+
+
+def bench_e06_high_probability(run_and_record):
+    run_and_record("E6")

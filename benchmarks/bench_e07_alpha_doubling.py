@@ -1,0 +1,12 @@
+"""Bench E7 — Section 5.1 guessing alpha.
+
+The halving wrapper vs DISTILL^HP given the true alpha: constant-factor
+overhead, always succeeds.
+
+Regenerates the E7 table of EXPERIMENTS.md (archived under
+benchmarks/results/E7.txt).
+"""
+
+
+def bench_e07_alpha_doubling(run_and_record):
+    run_and_record("E7")

@@ -1,0 +1,12 @@
+"""Bench E8 — Theorem 12 multiple costs.
+
+Cost-class worlds: per-player payment grows ~linearly in q0 and stays
+within the q0 m log n/(alpha n) curve.
+
+Regenerates the E8 table of EXPERIMENTS.md (archived under
+benchmarks/results/E8.txt).
+"""
+
+
+def bench_e08_multicost(run_and_record):
+    run_and_record("E8")

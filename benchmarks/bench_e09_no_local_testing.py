@@ -1,0 +1,12 @@
+"""Bench E9 — Theorem 13 search without local testing.
+
+Mutable best-so-far votes at the prescribed run length: every honest
+player holds a good object w.h.p.
+
+Regenerates the E9 table of EXPERIMENTS.md (archived under
+benchmarks/results/E9.txt).
+"""
+
+
+def bench_e09_no_local_testing(run_and_record):
+    run_and_record("E9")

@@ -1,0 +1,12 @@
+"""Bench E10 — Section 4.1 multiple votes.
+
+f votes per player (both sides) and erroneous honest votes: cost flat
+while f = o(1/(1-alpha)).
+
+Regenerates the E10 table of EXPERIMENTS.md (archived under
+benchmarks/results/E10.txt).
+"""
+
+
+def bench_e10_multivote(run_and_record):
+    run_and_record("E10")

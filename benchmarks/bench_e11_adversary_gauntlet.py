@@ -1,0 +1,12 @@
+"""Bench E11 — Adversary gauntlet.
+
+DISTILL vs every registered adversary at two honesty levels; Theorem 4
+holds for all of them.
+
+Regenerates the E11 table of EXPERIMENTS.md (archived under
+benchmarks/results/E11.txt).
+"""
+
+
+def bench_e11_adversary_gauntlet(run_and_record):
+    run_and_record("E11")

@@ -1,0 +1,12 @@
+"""Bench E12 — Section 1.2 three-phase illustration.
+
+m = n, sqrt(n) dishonest: P[i0 in C_i] constant, |C2| <~ sqrt n,
+|C3| <= 3.
+
+Regenerates the E12 table of EXPERIMENTS.md (archived under
+benchmarks/results/E12.txt).
+"""
+
+
+def bench_e12_three_phase(run_and_record):
+    run_and_record("E12")

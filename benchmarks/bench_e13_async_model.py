@@ -1,0 +1,14 @@
+"""Bench E13 — the synchronous abstraction, validated.
+
+The prior algorithm native on the asynchronous engine under round robin
+matches the synchronous engine; DISTILL through the timestamp barrier
+matches synchronous DISTILL under a random schedule; the solo-first
+schedule degenerates the victim to Theta(1/beta) solo search.
+
+Regenerates the E13 table of EXPERIMENTS.md (archived under
+benchmarks/results/E13.txt).
+"""
+
+
+def bench_e13_async_model(run_and_record):
+    run_and_record("E13")

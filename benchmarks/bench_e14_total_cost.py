@@ -1,0 +1,13 @@
+"""Bench E14 — the prior algorithm's total-cost bound.
+
+Total honest probes of the EC'04 explore/exploit rule on the async
+engine: O(n log n) shape at beta = 1/n, indifferent to a dishonest
+third.
+
+Regenerates the E14 table of EXPERIMENTS.md (archived under
+benchmarks/results/E14.txt).
+"""
+
+
+def bench_e14_total_cost(run_and_record):
+    run_and_record("E14")

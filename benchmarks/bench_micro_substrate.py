@@ -1,0 +1,93 @@
+"""Micro-benchmarks of the simulation substrate.
+
+Unlike the experiment benches (one pedantic round each), these measure
+the primitives' throughput properly — pytest-benchmark calibrates
+multiple rounds — and act as performance-regression tripwires for the
+hot paths: ledger window counts, advice resolution, tracker transitions,
+and a complete mid-size engine run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.billboard.board import Billboard
+from repro.billboard.post import PostKind
+from repro.billboard.views import BillboardView
+from repro.core.distill import DistillStrategy
+from repro.core.parameters import DistillParameters
+from repro.core.tracker import DistillPhaseTracker
+from repro.sim.engine import SynchronousEngine
+from repro.strategies.base import StrategyContext
+from repro.strategies.probe_advice import AdviceAlternator
+from repro.world.generators import planted_instance
+
+N_PLAYERS = 2048
+N_OBJECTS = 2048
+
+
+@pytest.fixture(scope="module")
+def loaded_board():
+    """A board carrying one vote per player, spread over 64 rounds."""
+    board = Billboard(N_PLAYERS, N_OBJECTS)
+    rng = np.random.default_rng(0)
+    objects = rng.integers(N_OBJECTS, size=N_PLAYERS)
+    for round_no in range(64):  # append-only: rounds must not decrease
+        for player in range(round_no, N_PLAYERS, 64):
+            board.append(
+                round_no, player, int(objects[player]), 1.0, PostKind.VOTE
+            )
+    return board
+
+
+def bench_ledger_window_counts(benchmark, loaded_board):
+    benchmark(loaded_board.counts_in_window, 16, 48)
+
+
+def bench_ledger_current_votes(benchmark, loaded_board):
+    benchmark(loaded_board.current_vote_array, 32)
+
+
+def bench_advice_resolution(benchmark, loaded_board):
+    view = BillboardView(loaded_board)
+    alternator = AdviceAlternator(N_PLAYERS)
+    rng = np.random.default_rng(1)
+    benchmark(alternator.advise, N_PLAYERS, view, rng)
+
+
+def bench_explore_sampling(benchmark):
+    alternator = AdviceAlternator(N_PLAYERS)
+    pool = np.arange(N_OBJECTS, dtype=np.int64)
+    rng = np.random.default_rng(2)
+    benchmark(alternator.explore, pool, N_PLAYERS, rng)
+
+
+def bench_tracker_advance(benchmark, loaded_board):
+    ctx = StrategyContext(
+        n=N_PLAYERS, m=N_OBJECTS, alpha=0.5, beta=1 / 16,
+        good_threshold=0.5,
+    )
+
+    def advance_through_run():
+        tracker = DistillPhaseTracker(ctx, DistillParameters())
+        for round_no in range(0, 65, 4):
+            tracker.advance(
+                round_no, BillboardView(loaded_board, before_round=round_no)
+            )
+
+    benchmark(advance_through_run)
+
+
+def bench_engine_full_run(benchmark):
+    def run_once():
+        inst = planted_instance(
+            n=512, m=512, beta=1 / 16, alpha=0.75,
+            rng=np.random.default_rng(3),
+        )
+        engine = SynchronousEngine(
+            inst, DistillStrategy(), rng=np.random.default_rng(4)
+        )
+        return engine.run().rounds
+
+    benchmark(run_once)

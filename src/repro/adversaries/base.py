@@ -1,0 +1,51 @@
+"""Adversary interface.
+
+An adversary controls the dishonest players. Per round it is shown the full
+billboard (adaptive adversary: everything realized so far, including the
+current round's honest posts) and returns the votes it wants its players to
+cast. The engine enforces that it only posts under dishonest identities;
+the billboard's reader-side ledger enforces the one-vote (or ``f``-vote)
+rule, so an adversary gains nothing by spamming.
+
+Unlike strategies, an adversary *does* get the ground-truth
+:class:`~repro.world.instance.Instance` — a Byzantine adversary knows
+everything.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.billboard.views import BillboardView
+from repro.sim.actions import VoteAction
+from repro.world.instance import Instance
+
+
+class Adversary:
+    """Base class for Byzantine adversaries."""
+
+    #: registry name; subclasses override
+    name: str = "adversary"
+
+    def reset(self, instance: Instance, rng: np.random.Generator) -> None:
+        """Prepare for a fresh run against ``instance``."""
+        self.instance = instance
+        self.rng = rng
+        self.dishonest_ids = instance.dishonest_ids.copy()
+
+    def act(self, round_no: int, view: BillboardView) -> List[VoteAction]:
+        """Votes to cast at the end of round ``round_no``.
+
+        ``view`` has no horizon: the adversary sees the entire board,
+        including this round's honest posts.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Helpers shared by concrete adversaries
+    # ------------------------------------------------------------------
+    def bad_object_ids(self) -> np.ndarray:
+        """Ground-truth bad objects (what a malicious vote points at)."""
+        return np.flatnonzero(~self.instance.space.good_mask)

@@ -1,0 +1,72 @@
+"""The mimic adversary: behave honestly, "find" bad objects.
+
+A special case of :class:`~repro.adversaries.spoofed.SpoofedProtocolAdversary`
+where every dishonest player is lured to the same small set of bad
+objects: their spoofed world marks ``n_lures`` bad objects as good, so
+they run the honest protocol, quickly "find" a lure, vote for it at a
+perfectly protocol-plausible time, and halt. The lures accumulate enough
+coordinated votes to enter ``C0`` and contend through early iterations.
+
+Statistically indistinguishable from honest behaviour post-by-post — only
+the one-vote budget and the distillation thresholds defeat it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.adversaries.spoofed import SpoofedProtocolAdversary
+from repro.core.distill import DistillStrategy
+from repro.core.parameters import DistillParameters
+from repro.strategies.base import Strategy
+from repro.world.instance import Instance
+from repro.world.valuemodel import constant_spoof_table
+
+
+class MimicAdversary(SpoofedProtocolAdversary):
+    """Protocol mimicry with shared lure objects.
+
+    Parameters
+    ----------
+    n_lures:
+        How many bad objects are spoofed good; ``None`` picks
+        ``max(1, n_dishonest // 8)`` so each lure can collect several
+        coordinated votes.
+    strategy_factory:
+        Protocol to mimic; defaults to DISTILL with default constants.
+    """
+
+    name = "mimic"
+
+    def __init__(
+        self,
+        n_lures: Optional[int] = None,
+        strategy_factory: Optional[Callable[[], Strategy]] = None,
+    ) -> None:
+        factory = strategy_factory or (
+            lambda: DistillStrategy(DistillParameters())
+        )
+        super().__init__(strategy_factory=factory, spoof_tables={})
+        self.n_lures = n_lures
+
+    def reset(self, instance: Instance, rng: np.random.Generator) -> None:
+        bad = np.flatnonzero(~instance.space.good_mask)
+        threshold = instance.space.good_threshold
+        lure_value = 1.0 if threshold is None else max(1.0, threshold)
+        if bad.size:
+            n_lures = self.n_lures
+            if n_lures is None:
+                n_lures = max(1, instance.n_dishonest // 8)
+            n_lures = min(n_lures, bad.size)
+            lures = rng.choice(bad, size=n_lures, replace=False)
+            table = constant_spoof_table(
+                instance.space, lures, high=lure_value, low=0.0
+            )
+            self.spoof_tables = {
+                int(p): table for p in instance.dishonest_ids
+            }
+        else:
+            self.spoof_tables = {}
+        super().reset(instance, rng)

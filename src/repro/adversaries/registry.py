@@ -1,0 +1,49 @@
+"""Name → adversary factories, for the E11 gauntlet and the CLI of the
+examples.
+
+Every entry is a zero-argument factory returning a fresh adversary with
+that strategy's default knobs; experiments that need tuned knobs construct
+the classes directly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.adversaries.base import Adversary
+from repro.adversaries.concentrate import ConcentrateAdversary
+from repro.adversaries.flood import FloodAdversary
+from repro.adversaries.mimic import MimicAdversary
+from repro.adversaries.oblivious import ObliviousSplitVoteAdversary
+from repro.adversaries.random_votes import RandomVotesAdversary
+from repro.adversaries.silent import SilentAdversary
+from repro.adversaries.split_vote import SplitVoteAdversary
+from repro.errors import ConfigurationError
+
+AdversaryFactory = Callable[[], Adversary]
+
+ADVERSARY_REGISTRY: Dict[str, AdversaryFactory] = {
+    "silent": SilentAdversary,
+    "flood": FloodAdversary,
+    "concentrate": ConcentrateAdversary,
+    "random-votes": RandomVotesAdversary,
+    "split-vote": SplitVoteAdversary,
+    "oblivious-split-vote": ObliviousSplitVoteAdversary,
+    "mimic": MimicAdversary,
+}
+
+
+def available_adversaries() -> List[str]:
+    """Registered adversary names, in gauntlet order."""
+    return list(ADVERSARY_REGISTRY)
+
+
+def make_adversary(name: str, **kwargs) -> Adversary:
+    """Instantiate a registered adversary by name."""
+    try:
+        factory = ADVERSARY_REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown adversary {name!r}; known: {available_adversaries()}"
+        ) from None
+    return factory(**kwargs)

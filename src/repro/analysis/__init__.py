@@ -1,0 +1,77 @@
+"""Closed-form theory, statistics, and scaling-law fitting.
+
+* :mod:`~repro.analysis.bounds` — the paper's predicted complexities
+  (Theorems 1, 2, 4, 11, 12; Corollary 5; Lemma 7), used as reference
+  curves in every bench.
+* :mod:`~repro.analysis.stats` — means, confidence intervals, bootstrap.
+* :mod:`~repro.analysis.fitting` — log-log scaling fits used to compare
+  measured growth against ``log n`` vs ``log n / Δ`` etc.
+* :mod:`~repro.analysis.concentration` — Chernoff/Markov helpers that set
+  statistically principled test tolerances.
+"""
+
+from repro.analysis.bounds import (
+    async_ec04_expected_rounds,
+    cor5_bound,
+    delta,
+    lemma7_iteration_bound,
+    thm1_lower,
+    thm2_lower,
+    thm4_expected_rounds,
+    thm11_rounds,
+    thm12_payment_bound,
+    trivial_expected_probes,
+)
+from repro.analysis.stats import (
+    bootstrap_ci,
+    mean_ci,
+    paired_difference,
+    summarize,
+    wilson_interval,
+)
+from repro.analysis.card import theory_card, theory_values
+from repro.analysis.fitting import fit_power_law, fit_scale_factor, r_squared
+from repro.analysis.concentration import (
+    chernoff_below_half_mean,
+    markov_tail,
+)
+from repro.analysis.lemma7_kernel import KernelTrace, worst_case_iterations
+from repro.analysis.lemma9 import (
+    application_a,
+    f_sigma,
+    g_a,
+    lemma9_capped_holds,
+    lemma9_holds,
+)
+
+__all__ = [
+    "KernelTrace",
+    "application_a",
+    "async_ec04_expected_rounds",
+    "bootstrap_ci",
+    "chernoff_below_half_mean",
+    "f_sigma",
+    "g_a",
+    "lemma9_capped_holds",
+    "lemma9_holds",
+    "worst_case_iterations",
+    "wilson_interval",
+    "theory_values",
+    "theory_card",
+    "paired_difference",
+    "cor5_bound",
+    "delta",
+    "fit_power_law",
+    "fit_scale_factor",
+    "lemma7_iteration_bound",
+    "markov_tail",
+    "mean_ci",
+    "r_squared",
+    "summarize",
+    "thm11_rounds",
+    "thm12_payment_bound",
+    "thm1_lower",
+    "thm2_lower",
+    "thm4_expected_rounds",
+    "trivial_expected_probes",
+]

@@ -1,0 +1,112 @@
+"""The paper's complexity bounds as reference curves.
+
+All logarithms are base 2 (the paper leaves the base unspecified; it moves
+only constants). Every function returns the bound *without* its hidden
+constant — benches fit a single scale factor and then compare shapes, per
+the reproduction contract in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+
+
+def _check_unit(name: str, value: float) -> None:
+    if not 0 < value <= 1:
+        raise ConfigurationError(f"{name} must be in (0, 1], got {value}")
+
+
+def log2n(n: int) -> float:
+    """``log2 n``, floored at 1 to keep tiny-``n`` ratios sane."""
+    return max(1.0, math.log2(max(n, 2)))
+
+
+def delta(alpha: float, n: int) -> float:
+    """Notation 3: ``Δ = log(1/(1-α) + log n)``.
+
+    For ``α = 1`` the inner term is infinite; we return ``inf`` so the
+    ``log n / Δ`` term of Theorem 4 correctly vanishes.
+    """
+    _check_unit("alpha", alpha)
+    if alpha == 1.0:
+        return math.inf
+    return math.log2(1.0 / (1.0 - alpha) + log2n(n))
+
+
+def thm4_expected_rounds(n: int, alpha: float, beta: float) -> float:
+    """Theorem 4: ``O(1/(αβn) + (1/α)·log n/Δ)`` expected rounds."""
+    _check_unit("alpha", alpha)
+    _check_unit("beta", beta)
+    d = delta(alpha, n)
+    tail = 0.0 if math.isinf(d) else log2n(n) / d
+    return 1.0 / (alpha * beta * n) + tail / alpha
+
+
+def cor5_bound(epsilon: float) -> float:
+    """Corollary 5: with ``m = n`` and ``α >= 1 - n^{-ε}``, ``O(1/ε)``."""
+    if epsilon <= 0:
+        raise ConfigurationError(f"epsilon must be positive, got {epsilon}")
+    return 1.0 / epsilon
+
+
+def lemma7_iteration_bound(n: int, alpha: float) -> float:
+    """Lemma 7: the while loop runs ``O(log n / Δ)`` iterations."""
+    d = delta(alpha, n)
+    if math.isinf(d):
+        return 1.0
+    return log2n(n) / d
+
+
+def thm1_lower(n: int, m: int, alpha: float, beta: float) -> float:
+    """Theorem 1: ``Ω(1/(αβn))`` expected probes per player."""
+    _check_unit("alpha", alpha)
+    _check_unit("beta", beta)
+    return 1.0 / (alpha * beta * n)
+
+
+def thm2_lower(alpha: float, beta: float) -> float:
+    """Theorem 2: ``Ω(min(1/α, 1/β))`` expected probes (constant 1/2)."""
+    _check_unit("alpha", alpha)
+    _check_unit("beta", beta)
+    return 0.5 * min(1.0 / alpha, 1.0 / beta)
+
+
+def thm11_rounds(n: int, alpha: float, beta: float) -> float:
+    """Theorem 11: DISTILL^HP finishes *everyone* in
+    ``O(log n/(αβn) + log n/α)`` rounds w.h.p."""
+    _check_unit("alpha", alpha)
+    _check_unit("beta", beta)
+    return log2n(n) / (alpha * beta * n) + log2n(n) / alpha
+
+
+def async_ec04_expected_rounds(n: int, alpha: float, beta: float) -> float:
+    """The prior algorithm of [1] under round robin (Section 1.2):
+    ``O(log n/(αβn) + log n/α)`` expected rounds — same form as Theorem
+    11's high-probability bound, but here it is the *expectation*."""
+    return thm11_rounds(n, alpha, beta)
+
+
+def thm12_payment_bound(q0: float, m: int, n: int, alpha: float) -> float:
+    """Theorem 12: per-player payment ``O(q0 · m log n/(αn))``.
+
+    The proof sums ``2^(i+1)·(m_i log n/(αn) + log n/α)`` over classes up
+    to ``i0 = log q0``; the geometric sum of the second terms contributes
+    ``O(q0 log n/α)``, which the paper absorbs under ``m = Θ(n)``. We keep
+    it explicit so the bound is meaningful for any ``m``.
+    """
+    _check_unit("alpha", alpha)
+    if q0 < 1:
+        raise ConfigurationError(f"q0 must be >= 1 (w.l.o.g.), got {q0}")
+    return (
+        q0 * m * log2n(n) / (alpha * n)
+        + 4.0 * q0 * log2n(n) / alpha
+        + q0
+    )
+
+
+def trivial_expected_probes(beta: float) -> float:
+    """The billboard-free baseline: geometric with success rate ``β``."""
+    _check_unit("beta", beta)
+    return 1.0 / beta

@@ -1,0 +1,71 @@
+"""The theory card: every bound of the paper at one parameter point.
+
+A quick-reference rendering of all closed-form curves for a given
+``(n, m, α, β)`` — what the paper predicts before you simulate anything.
+Used by ``repro bounds`` on the CLI and handy in notebooks::
+
+    >>> from repro.analysis.card import theory_card
+    >>> print(theory_card(n=1024, m=1024, alpha=0.9, beta=1/16))
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from repro.analysis.bounds import (
+    delta,
+    lemma7_iteration_bound,
+    thm1_lower,
+    thm2_lower,
+    thm4_expected_rounds,
+    thm11_rounds,
+    thm12_payment_bound,
+    trivial_expected_probes,
+)
+from repro.errors import ConfigurationError
+
+
+def theory_values(
+    n: int, m: int, alpha: float, beta: float, q0: float = 1.0
+) -> Dict[str, float]:
+    """All bound values, keyed by the claim they come from."""
+    if n < 1 or m < 1:
+        raise ConfigurationError(f"need n, m >= 1, got n={n}, m={m}")
+    return {
+        "delta (Notation 3)": delta(alpha, n),
+        "Thm 1 lower bound (rounds)": thm1_lower(n, m, alpha, beta),
+        "Thm 2 lower bound (probes)": thm2_lower(alpha, beta),
+        "Thm 4 DISTILL expected rounds": thm4_expected_rounds(
+            n, alpha, beta
+        ),
+        "Lemma 7 iterations": lemma7_iteration_bound(n, alpha),
+        "Thm 11 DISTILL^HP whp rounds": thm11_rounds(n, alpha, beta),
+        "Thm 12 payment (at q0)": thm12_payment_bound(q0, m, n, alpha),
+        "prior algorithm expected rounds": thm11_rounds(n, alpha, beta),
+        "trivial probing expected probes": trivial_expected_probes(beta),
+    }
+
+
+def theory_card(
+    n: int, m: int, alpha: float, beta: float, q0: float = 1.0
+) -> str:
+    """Human-readable rendering of :func:`theory_values`.
+
+    All curves are constant-free (the paper's hidden constants are not
+    ours to print); compare *shapes* across parameter points, not the
+    absolute values against measurements.
+    """
+    values = theory_values(n, m, alpha, beta, q0)
+    width = max(len(k) for k in values)
+    lines = [
+        f"theory card  n={n}  m={m}  alpha={alpha:g}  beta={beta:g}"
+        + (f"  q0={q0:g}" if q0 != 1.0 else ""),
+        "-" * (width + 14),
+    ]
+    for key, value in values.items():
+        rendered = "inf" if math.isinf(value) else f"{value:12.3f}"
+        lines.append(f"{key.ljust(width)}  {rendered}")
+    lines.append("-" * (width + 14))
+    lines.append("(constant-free curves; compare shapes, not absolutes)")
+    return "\n".join(lines)

@@ -1,0 +1,52 @@
+"""Concentration bounds used by the analysis and by test tolerances.
+
+The paper's Lemmas 8 and 10 bound failure probabilities with the standard
+multiplicative Chernoff bound for the lower tail:
+
+    P[X < (1 - δ)·E[X]] < exp(-δ²·E[X]/2),
+
+instantiated at ``δ = 1/2`` (votes falling below half their expectation),
+giving ``exp(-E[X]/8)``. Tests use these to pick seeds-independent
+tolerances: an assertion allowed to fail with probability ``p`` under the
+theory can be given ``1/p`` head-room.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+
+
+def chernoff_below_half_mean(expectation: float) -> float:
+    """``P[X < E[X]/2] < exp(-E[X]/8)`` for sums of independent 0/1
+    variables (the form used in Lemmas 8 and 10)."""
+    if expectation < 0:
+        raise ConfigurationError(
+            f"expectation must be non-negative, got {expectation}"
+        )
+    return math.exp(-expectation / 8.0)
+
+
+def chernoff_lower_tail(expectation: float, delta: float) -> float:
+    """General multiplicative lower tail ``P[X < (1-δ)E[X]]``."""
+    if not 0 < delta < 1:
+        raise ConfigurationError(f"delta must be in (0, 1), got {delta}")
+    if expectation < 0:
+        raise ConfigurationError(
+            f"expectation must be non-negative, got {expectation}"
+        )
+    return math.exp(-delta * delta * expectation / 2.0)
+
+
+def markov_tail(expectation: float, threshold: float) -> float:
+    """Markov: ``P[X >= threshold] <= E[X]/threshold`` for ``X >= 0``."""
+    if threshold <= 0:
+        raise ConfigurationError(
+            f"threshold must be positive, got {threshold}"
+        )
+    if expectation < 0:
+        raise ConfigurationError(
+            f"expectation must be non-negative, got {expectation}"
+        )
+    return min(1.0, expectation / threshold)

@@ -1,0 +1,72 @@
+"""Scaling-law fits.
+
+The reproduction contract is about *shape*: DISTILL's cost should grow
+like ``log n / Δ`` while the prior algorithm's grows like ``log n``, the
+ε-sweep of Corollary 5 should fit ``1/ε``, and so on. These helpers fit a
+single scale factor (bounds are stated up to a constant) or a power law,
+and report goodness of fit so benches and tests can compare hypotheses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class PowerLawFit:
+    """``y ≈ coefficient · x^exponent``."""
+
+    exponent: float
+    coefficient: float
+    r2: float
+
+
+def r_squared(y: np.ndarray, y_hat: np.ndarray) -> float:
+    """Coefficient of determination of predictions ``y_hat``."""
+    y = np.asarray(y, dtype=np.float64)
+    y_hat = np.asarray(y_hat, dtype=np.float64)
+    ss_res = float(((y - y_hat) ** 2).sum())
+    ss_tot = float(((y - y.mean()) ** 2).sum())
+    if ss_tot == 0:
+        return 1.0 if ss_res == 0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def fit_power_law(x: Sequence[float], y: Sequence[float]) -> PowerLawFit:
+    """Least-squares fit of ``log y = a·log x + b``."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.size != y.size or x.size < 2:
+        raise ConfigurationError("fit_power_law needs >= 2 paired points")
+    if np.any(x <= 0) or np.any(y <= 0):
+        raise ConfigurationError("power-law fits need positive data")
+    slope, intercept = np.polyfit(np.log(x), np.log(y), 1)
+    y_hat = np.exp(intercept) * x ** slope
+    return PowerLawFit(
+        exponent=float(slope),
+        coefficient=float(np.exp(intercept)),
+        r2=r_squared(np.log(y), np.log(y_hat)),
+    )
+
+
+def fit_scale_factor(
+    measured: Sequence[float], predicted: Sequence[float]
+) -> float:
+    """Best single constant ``c`` with ``measured ≈ c · predicted``.
+
+    Least squares through the origin — the right comparison for bounds
+    stated up to a hidden constant.
+    """
+    measured = np.asarray(measured, dtype=np.float64)
+    predicted = np.asarray(predicted, dtype=np.float64)
+    if measured.size != predicted.size or measured.size == 0:
+        raise ConfigurationError("fit_scale_factor needs paired points")
+    denom = float((predicted ** 2).sum())
+    if denom == 0:
+        raise ConfigurationError("predicted values are all zero")
+    return float((measured * predicted).sum() / denom)

@@ -1,0 +1,150 @@
+"""Lemma 9 — the paper's technical sequence inequality, executable.
+
+Lemma 9 states: for a non-increasing sequence of positive integers
+``σ = (c_0, c_1, ..., c_T)`` and a constant ``0 < a < 1``, with
+
+    f(σ) = Σ_{t=1..T} c_t / c_{t-1}      and
+    g_a(σ) = Σ_{t=0..T} a^{1/c_t},
+
+every such sequence satisfies ``g_a(σ) ≤ (⌈f(σ)⌉ + 1) · a^{1/c_0}``.
+
+The lemma is what turns the per-iteration Chernoff failure bounds of
+Lemma 10 into a *constant* total failure probability, independent of how
+the adversary shapes the candidate-set trajectory.
+
+Erratum (reproduction finding)
+------------------------------
+As printed, the inequality is **false in general**: ``σ = (4, 2, 1)``
+with ``a = 1/2`` has ``f(σ) = 1``, bound ``2·2^{-1/4} ≈ 1.68``, but
+``g_a(σ) ≈ 2.05``. Randomized search also finds violations up to ~1.29x
+inside the Lemma 10 application regime (``a = e^{-n/16}``,
+``c_0 ≤ 4n/k2``). The culprit is the per-sequence ceiling
+``⌈f(σ)⌉ + 1``: chains of small elements buy extra ``g``-terms at ratio
+cost below 1 each.
+
+What Lemma 10 actually needs is the *budget-capped* form — replace
+``f(σ)`` by the a-priori cap ``F = 8(1-α) ≤ 8`` of Equation 2:
+
+    for every non-increasing σ with f(σ) ≤ F:
+        g_a(σ) ≤ (⌈F⌉ + 1) · a^{1/c_0}.
+
+This version holds throughout the application regime (empirically tight
+only at the degenerate all-ones chain) and is provable when
+``ln(1/a)/c_0 ≥ 1`` — which the proof's own constants guarantee, since
+``a = e^{-n/16}`` and ``c_0 ≤ 4n/k2`` give ``ln(1/a)/c_0 ≥ k2/64 ≥ 3``
+at the paper's ``k2 ≥ 192``: then ``c_t ≤ r_t·c_0`` yields
+``a^{1/c_t} ≤ a^{1/(r_t c_0)} ≤ r_t·a^{1/c_0}`` term by term (using
+``(1/r − 1)·ln(1/a)/c_0 ≥ ln(1/r)``), so ``g ≤ (1 + F)·a^{1/c_0}``.
+Theorem 4 is unaffected; see EXPERIMENTS.md. This module implements both
+forms so the tests can exhibit the counterexample and verify the capped
+form on real DISTILL trajectories and worst-case kernel traces.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+
+
+def _validate(sigma: Sequence[int]) -> None:
+    if not sigma:
+        raise ConfigurationError("sigma must be non-empty")
+    previous = None
+    for value in sigma:
+        if int(value) != value or value <= 0:
+            raise ConfigurationError(
+                f"sigma must contain positive integers, got {value!r}"
+            )
+        if previous is not None and value > previous:
+            raise ConfigurationError(
+                f"sigma must be non-increasing, got ...{previous}, {value}..."
+            )
+        previous = value
+
+
+def f_sigma(sigma: Sequence[int]) -> float:
+    """``f(σ) = Σ_{t>=1} c_t/c_{t-1}`` — the ratio sum of Equation 2."""
+    _validate(sigma)
+    return float(
+        sum(b / a for a, b in zip(sigma, sigma[1:]))
+    )
+
+
+def g_a(sigma: Sequence[int], a: float) -> float:
+    """``g_a(σ) = Σ_t a^(1/c_t)`` — the total failure-probability proxy."""
+    _validate(sigma)
+    if not 0 < a < 1:
+        raise ConfigurationError(f"a must be in (0, 1), got {a}")
+    return float(sum(a ** (1.0 / c) for c in sigma))
+
+
+def lemma9_bound(sigma: Sequence[int], a: float) -> float:
+    """The lemma's right-hand side, ``(⌈f(σ)⌉ + 1)·a^(1/c_0)``."""
+    _validate(sigma)
+    if not 0 < a < 1:
+        raise ConfigurationError(f"a must be in (0, 1), got {a}")
+    return (math.ceil(f_sigma(sigma)) + 1) * a ** (1.0 / sigma[0])
+
+
+def lemma9_holds(sigma: Sequence[int], a: float) -> bool:
+    """Whether ``g_a(σ) ≤ (⌈f(σ)⌉ + 1)·a^(1/c_0)`` (with float slack).
+
+    This is the inequality *as printed*, which the module docstring's
+    erratum shows is false in general; kept for exhibiting the
+    counterexamples. Use :func:`lemma9_capped_holds` for the form the
+    Theorem 4 proof relies on.
+    """
+    return g_a(sigma, a) <= lemma9_bound(sigma, a) * (1 + 1e-12) + 1e-15
+
+
+def lemma9_capped_bound(sigma: Sequence[int], a: float, cap: float) -> float:
+    """The budget-capped right-hand side ``(⌈cap⌉ + 1)·a^(1/c_0)``."""
+    _validate(sigma)
+    if not 0 < a < 1:
+        raise ConfigurationError(f"a must be in (0, 1), got {a}")
+    if cap < 0:
+        raise ConfigurationError(f"cap must be >= 0, got {cap}")
+    return (math.ceil(cap) + 1) * a ** (1.0 / sigma[0])
+
+
+def lemma9_capped_holds(sigma: Sequence[int], a: float, cap: float) -> bool:
+    """The corrected form: ``g_a(σ) ≤ (⌈cap⌉+1)·a^(1/c_0)`` for every
+    non-increasing σ with ``f(σ) ≤ cap`` (the caller's obligation)."""
+    return (
+        g_a(sigma, a)
+        <= lemma9_capped_bound(sigma, a, cap) * (1 + 1e-12) + 1e-15
+    )
+
+
+def application_a(n: int) -> float:
+    """The ``a = e^{-n/16}`` at which Lemma 10 instantiates Lemma 9."""
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1, got {n}")
+    return math.exp(-n / 16.0)
+
+
+def extremal_sigma(c0: int, budget: float) -> list:
+    """The proof's extremal sequence (Claim A): ``⌊budget⌋ + 1`` copies of
+    ``c_0`` followed, when ``budget`` is fractional, by one last element
+    whose ratio to ``c_0`` equals the leftover fraction — i.e.
+    ``⌊c_0 · (budget − ⌊budget⌋)⌋``. This shape maximizes ``g_a`` among
+    non-increasing sequences starting at ``c_0`` with ``f(σ) ≤ budget``.
+
+    (The paper's Claim A prints the last element as ``c_0/(B − ⌊B⌋)``,
+    which would exceed ``c_0`` and break monotonicity; the ratio form
+    ``c_0 · (B − ⌊B⌋)`` is the one consistent with ``f(σ) ≤ B`` and with
+    the surrounding argument, so that is what we build.)
+    """
+    if c0 < 1:
+        raise ConfigurationError(f"c0 must be >= 1, got {c0}")
+    if budget < 0:
+        raise ConfigurationError(f"budget must be >= 0, got {budget}")
+    whole = int(math.floor(budget))
+    sigma = [c0] * (whole + 1)
+    fraction = budget - whole
+    tail = int(math.floor(c0 * fraction))
+    if tail >= 1:  # a fractional tail only exists when c0*fraction >= 1
+        sigma.append(min(c0, tail))
+    return sigma

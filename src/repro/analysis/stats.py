@@ -1,0 +1,107 @@
+"""Statistics helpers for Monte-Carlo outputs."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def mean_ci(samples: np.ndarray, z: float = 1.96) -> Tuple[float, float]:
+    """Sample mean and normal-approximation CI half-width."""
+    samples = np.asarray(samples, dtype=np.float64)
+    if samples.size == 0:
+        raise ConfigurationError("mean_ci needs at least one sample")
+    mean = float(samples.mean())
+    if samples.size == 1:
+        return mean, 0.0
+    half = z * float(samples.std(ddof=1)) / np.sqrt(samples.size)
+    return mean, half
+
+
+def bootstrap_ci(
+    samples: np.ndarray,
+    rng: np.random.Generator,
+    statistic=np.mean,
+    n_resamples: int = 1000,
+    level: float = 0.95,
+) -> Tuple[float, float]:
+    """Percentile-bootstrap interval for an arbitrary statistic."""
+    samples = np.asarray(samples, dtype=np.float64)
+    if samples.size == 0:
+        raise ConfigurationError("bootstrap_ci needs at least one sample")
+    idx = rng.integers(samples.size, size=(n_resamples, samples.size))
+    stats = statistic(samples[idx], axis=1)
+    lo = (1.0 - level) / 2.0
+    return float(np.quantile(stats, lo)), float(np.quantile(stats, 1.0 - lo))
+
+
+def wilson_interval(
+    successes: int, trials: int, z: float = 1.96
+) -> Tuple[float, float]:
+    """Wilson score interval for a success rate.
+
+    The normal approximation is useless exactly where the experiments
+    need it (success rates at or near 1.0, as in the Theorem 11/13
+    w.h.p. claims); Wilson stays honest there.
+    """
+    if trials <= 0:
+        raise ConfigurationError(f"trials must be positive, got {trials}")
+    if not 0 <= successes <= trials:
+        raise ConfigurationError(
+            f"need 0 <= successes <= trials, got {successes}/{trials}"
+        )
+    p_hat = successes / trials
+    z2 = z * z
+    denom = 1.0 + z2 / trials
+    center = (p_hat + z2 / (2 * trials)) / denom
+    half = (
+        z
+        * np.sqrt(
+            p_hat * (1 - p_hat) / trials + z2 / (4 * trials * trials)
+        )
+        / denom
+    )
+    return float(max(0.0, center - half)), float(min(1.0, center + half))
+
+
+def paired_difference(
+    a: np.ndarray, b: np.ndarray, z: float = 1.96
+) -> Dict[str, float]:
+    """Mean and CI of the per-trial difference ``a - b``.
+
+    For paired designs (same worlds and coins, different treatment —
+    e.g. ablation A5's adversary comparison): differencing removes the
+    shared world variance, so effects far smaller than the per-trial
+    spread become resolvable.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape or a.size == 0:
+        raise ConfigurationError(
+            "paired_difference needs equal-length non-empty samples"
+        )
+    diff = a - b
+    mean, half = mean_ci(diff, z=z)
+    return {
+        "mean_diff": mean,
+        "ci95": half,
+        "significant": float(abs(mean) > half),
+    }
+
+
+def summarize(samples: np.ndarray) -> Dict[str, float]:
+    """Mean, CI, and the quantiles the benches print."""
+    samples = np.asarray(samples, dtype=np.float64)
+    mean, half = mean_ci(samples)
+    return {
+        "mean": mean,
+        "ci95": half,
+        "median": float(np.median(samples)),
+        "p90": float(np.quantile(samples, 0.90)),
+        "p99": float(np.quantile(samples, 0.99)),
+        "max": float(samples.max()),
+        "n": float(samples.size),
+    }

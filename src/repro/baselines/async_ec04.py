@@ -1,0 +1,73 @@
+"""The prior asynchronous algorithm [1] under a round-robin schedule.
+
+The paper's point of comparison (Section 1.2): "the asynchronous algorithm
+[Awerbuch, Patt-Shamir, Peleg, Tuttle — EC'04], when considered under a
+synchronous schedule (say, round robin), halts in expected time
+``O(log n/(αβn) + log n/α)``" — so even with almost all players honest its
+individual cost is ``Ω(log n)``, whereas DISTILL's is ``O(1)``.
+
+The EC'04 rule balances exploration against exploitation: in each step a
+player flips a fair coin and either
+
+* **explores** — probes a uniformly random object, or
+* **exploits** — picks a uniformly random player and probes the object
+  that player currently recommends (if any).
+
+Satisfied players spread through exploitation at rate ``∝ (satisfied
+honest)/n`` per step, giving the logarithmic epidemic-style growth that
+produces the ``log n`` terms; a Byzantine voter slows the epidemic by at
+most its share of the advice pool.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.billboard.views import BillboardView
+from repro.strategies.base import Strategy, StrategyContext
+from repro.strategies.probe_advice import AdviceAlternator
+
+
+class AsyncEC04Strategy(Strategy):
+    """Explore/exploit with a fair coin per player per round.
+
+    Parameters
+    ----------
+    explore_probability:
+        Chance of an exploration step (the EC'04 rule uses 1/2).
+    """
+
+    name = "async-ec04"
+
+    def __init__(self, explore_probability: float = 0.5) -> None:
+        if not 0 < explore_probability <= 1:
+            raise ValueError(
+                f"explore_probability must be in (0, 1], got "
+                f"{explore_probability}"
+            )
+        self.explore_probability = explore_probability
+
+    def reset(self, ctx: StrategyContext, rng: np.random.Generator) -> None:
+        super().reset(ctx, rng)
+        if not ctx.supports_local_testing:
+            raise ValueError("AsyncEC04Strategy requires local testing")
+        self.alternator = AdviceAlternator(ctx.n)
+
+    def choose_probes(
+        self,
+        round_no: int,
+        active_players: np.ndarray,
+        view: BillboardView,
+    ) -> np.ndarray:
+        count = active_players.size
+        explore = self.rng.random(count) < self.explore_probability
+        probes = np.empty(count, dtype=np.int64)
+        probes[explore] = self.rng.integers(
+            self.ctx.m, size=int(explore.sum())
+        )
+        n_advice = int((~explore).sum())
+        if n_advice:
+            votes = view.current_vote_array()
+            advisors = self.rng.integers(self.ctx.n, size=n_advice)
+            probes[~explore] = votes[advisors]
+        return probes

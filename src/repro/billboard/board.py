@@ -1,0 +1,216 @@
+"""The append-only billboard.
+
+Section 2.1 of the paper makes two assumptions about the billboard, both
+enforced here:
+
+1. every message is reliably tagged with the posting player's identity and a
+   timestamp — the board stamps posts itself, so a poster cannot forge
+   either; and
+2. the board is append-only — no message is ever erased, and any attempt to
+   rewrite history raises :class:`~repro.errors.TamperError`.
+
+The board additionally maintains a **hash chain** over its posts (each
+post's digest covers the previous digest), the standard systems
+realization of those assumptions: :meth:`Billboard.verify_integrity`
+re-derives the chain and fails loudly if any stored post was mutated
+behind the API's back — e.g. by test code or a buggy strategy poking at
+internals. The model's adversary never gets this power; the chain is a
+guard-rail for the *implementation*.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from repro.billboard.post import Post, PostKind
+from repro.billboard.votes import VoteLedger, VoteMode
+from repro.errors import InvalidPostError, TamperError
+
+#: digest of the empty board (the chain's genesis value)
+GENESIS_DIGEST = hashlib.sha256(b"repro-billboard-genesis").hexdigest()
+
+
+def _chain_digest(previous: str, post: Post) -> str:
+    """Digest of one post, chained onto the previous digest."""
+    payload = (
+        f"{previous}|{post.seq}|{post.round_no}|{post.player}|"
+        f"{post.object_id}|{post.reported_value!r}|{post.kind.value}"
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class Billboard:
+    """Append-only post log plus its vote ledger.
+
+    The board validates identities and timestamps; vote *semantics* (which
+    votes count) live in the attached :class:`VoteLedger` because they are a
+    reader-side convention, not a property of the medium.
+
+    Parameters
+    ----------
+    n_players, n_objects:
+        World dimensions used for identity/object validation.
+    vote_mode:
+        Reader-side vote rule (see :class:`VoteMode`).
+    max_votes_per_player:
+        The ``f`` of Section 4.1 (MULTI mode only).
+    """
+
+    def __init__(
+        self,
+        n_players: int,
+        n_objects: int,
+        vote_mode: VoteMode = VoteMode.SINGLE,
+        max_votes_per_player: int = 1,
+    ) -> None:
+        self.n_players = n_players
+        self.n_objects = n_objects
+        self._posts: List[Post] = []
+        self._last_round = -1
+        self._head_digest = GENESIS_DIGEST
+        self.ledger = VoteLedger(
+            n_players,
+            n_objects,
+            mode=vote_mode,
+            max_votes_per_player=max_votes_per_player,
+        )
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+    def append(
+        self,
+        round_no: int,
+        player: int,
+        object_id: int,
+        reported_value: float,
+        kind: PostKind,
+    ) -> Post:
+        """Stamp, validate, and append a post; returns the stored record.
+
+        Raises
+        ------
+        InvalidPostError
+            If the player or object id is out of range, or the round is
+            negative.
+        TamperError
+            If the round number is earlier than an already-appended post
+            (which would amount to rewriting history).
+        """
+        if not 0 <= player < self.n_players:
+            raise InvalidPostError(
+                f"unknown player identity {player} (n={self.n_players})"
+            )
+        if not 0 <= object_id < self.n_objects:
+            raise InvalidPostError(
+                f"unknown object {object_id} (m={self.n_objects})"
+            )
+        if round_no < 0:
+            raise InvalidPostError(f"negative round {round_no}")
+        if round_no < self._last_round:
+            raise TamperError(
+                f"post stamped round {round_no} after round {self._last_round} "
+                "was already on the board (append-only violation)"
+            )
+        post = Post(
+            seq=len(self._posts),
+            round_no=round_no,
+            player=player,
+            object_id=object_id,
+            reported_value=float(reported_value),
+            kind=kind,
+        )
+        self._posts.append(post)
+        self._last_round = round_no
+        self._head_digest = _chain_digest(self._head_digest, post)
+        if post.is_vote:
+            self.ledger.record(post)
+        return post
+
+    # ------------------------------------------------------------------
+    # Integrity
+    # ------------------------------------------------------------------
+    @property
+    def head_digest(self) -> str:
+        """Digest of the whole log (changes with every append)."""
+        return self._head_digest
+
+    def verify_integrity(self) -> None:
+        """Re-derive the hash chain; raise :class:`TamperError` on any
+        discrepancy between the stored posts and the running digest."""
+        digest = GENESIS_DIGEST
+        last_round = -1
+        for index, post in enumerate(self._posts):
+            if post.seq != index:
+                raise TamperError(
+                    f"post at position {index} carries seq {post.seq}"
+                )
+            if post.round_no < last_round:
+                raise TamperError(
+                    f"post {index} is stamped round {post.round_no} after "
+                    f"round {last_round}"
+                )
+            last_round = post.round_no
+            digest = _chain_digest(digest, post)
+        if digest != self._head_digest:
+            raise TamperError(
+                "billboard hash chain mismatch: a stored post was mutated "
+                "outside the append API"
+            )
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._posts)
+
+    def __iter__(self) -> Iterator[Post]:
+        return iter(self._posts)
+
+    def __getitem__(self, seq: int) -> Post:
+        return self._posts[seq]
+
+    @property
+    def last_round(self) -> int:
+        """Round stamp of the newest post (``-1`` for an empty board)."""
+        return self._last_round
+
+    def posts(
+        self,
+        kind: Optional[PostKind] = None,
+        player: Optional[int] = None,
+        before_round: Optional[int] = None,
+    ) -> List[Post]:
+        """Filtered copy of the log, preserving order.
+
+        ``before_round`` keeps only posts stamped strictly earlier — the
+        honest player's view at the start of that round.
+        """
+        selected = self._posts
+        if before_round is not None:
+            selected = [p for p in selected if p.round_no < before_round]
+        if kind is not None:
+            selected = [p for p in selected if p.kind is kind]
+        if player is not None:
+            selected = [p for p in selected if p.player == player]
+        return list(selected)
+
+    def vote_posts(self, before_round: Optional[int] = None) -> List[Post]:
+        """All vote posts (effective or not) in append order."""
+        return self.posts(kind=PostKind.VOTE, before_round=before_round)
+
+    # Ledger pass-throughs (the queries DISTILL actually uses) ----------
+    def current_vote_array(self, before_round: Optional[int] = None) -> np.ndarray:
+        """See :meth:`VoteLedger.current_vote_array`."""
+        return self.ledger.current_vote_array(before_round)
+
+    def objects_with_votes(self, before_round: Optional[int] = None) -> np.ndarray:
+        """See :meth:`VoteLedger.objects_with_votes`."""
+        return self.ledger.objects_with_votes(before_round)
+
+    def counts_in_window(self, start_round: int, end_round: int) -> np.ndarray:
+        """See :meth:`VoteLedger.counts_in_window`."""
+        return self.ledger.counts_in_window(start_round, end_round)

@@ -1,0 +1,243 @@
+"""Reader-side vote accounting.
+
+The billboard itself is a dumb append-only log; the *rules* about which
+votes count are applied by readers. This module centralizes those rules so
+that every honest player applies them identically (which is what keeps the
+DISTILL cohort in lockstep).
+
+Three vote modes appear in the paper:
+
+``SINGLE``
+    Figure 1: "allow each player to make only one such report, called the
+    player's *vote*". Only the first vote ever posted by a player counts;
+    later votes by the same player are ignored by readers. This is the rule
+    whose accounting powers Lemma 7 (the dishonest vote budget ``(1-α)n``).
+
+``MULTI``
+    Section 4.1: each player may submit positive votes for up to ``f``
+    objects. The first ``f`` votes for *distinct* objects count.
+
+``MUTABLE``
+    Section 5.3 (search without local testing): a player's vote is the best
+    object it has probed so far, so the vote may change; the player's
+    *latest* vote post is current, and within a counting window the player
+    contributes (at most) one vote — for the last object it switched to in
+    that window.
+"""
+
+from __future__ import annotations
+
+import bisect
+import enum
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.billboard.post import Post
+
+
+class VoteMode(enum.Enum):
+    """Which votes on the board are *effective* for readers."""
+
+    SINGLE = "single"
+    MULTI = "multi"
+    MUTABLE = "mutable"
+
+
+class VoteLedger:
+    """Incremental tally of effective votes on a billboard.
+
+    The ledger observes every vote post (via :meth:`record`) in append
+    order and answers the three queries DISTILL needs:
+
+    * :meth:`current_vote_array` — each player's current advice target
+      (used by PROBE&SEEKADVICE);
+    * :meth:`objects_with_votes` — the set ``S`` of Step 1.2;
+    * :meth:`counts_in_window` — the per-iteration tallies ``l_t(i)`` of
+      Steps 1.4 and 2.2.
+
+    Parameters
+    ----------
+    n_players, n_objects:
+        Dimensions of the world.
+    mode:
+        Vote-effectiveness rule; see :class:`VoteMode`.
+    max_votes_per_player:
+        The ``f`` of Section 4.1; only meaningful in ``MULTI`` mode
+        (``SINGLE`` forces 1, ``MUTABLE`` tracks a single mutable slot).
+    """
+
+    def __init__(
+        self,
+        n_players: int,
+        n_objects: int,
+        mode: VoteMode = VoteMode.SINGLE,
+        max_votes_per_player: int = 1,
+    ) -> None:
+        if n_players <= 0 or n_objects <= 0:
+            raise ConfigurationError(
+                "ledger needs positive player and object counts, got "
+                f"n_players={n_players}, n_objects={n_objects}"
+            )
+        if mode is VoteMode.SINGLE:
+            max_votes_per_player = 1
+        if max_votes_per_player < 1:
+            raise ConfigurationError(
+                f"max_votes_per_player must be >= 1, got {max_votes_per_player}"
+            )
+        self.n_players = n_players
+        self.n_objects = n_objects
+        self.mode = mode
+        self.max_votes_per_player = max_votes_per_player
+
+        # Effective votes in append order, as parallel columns.
+        self._rounds: List[int] = []
+        self._players: List[int] = []
+        self._objects: List[int] = []
+
+        # Per-player effective vote targets (for MULTI advice and budgets).
+        self._votes_by_player: List[List[int]] = [[] for _ in range(n_players)]
+
+        # Current advice target per player; -1 means "no vote yet".
+        self._current_vote = np.full(n_players, -1, dtype=np.int64)
+
+        # Objects with >= 1 effective vote, in first-vote order.
+        self._voted_objects: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(self, post: Post) -> bool:
+        """Observe a vote post; return whether it was *effective*.
+
+        Non-vote posts must not be passed here (the board filters).
+        """
+        player, obj = post.player, post.object_id
+        targets = self._votes_by_player[player]
+        if self.mode is VoteMode.MUTABLE:
+            # Latest vote is current; a repeat of the same object is a
+            # no-op for the current pointer but does not add a new entry.
+            if targets and targets[-1] == obj:
+                return False
+            targets.append(obj)
+            effective = True
+        else:
+            if len(targets) >= self.max_votes_per_player:
+                return False  # excess votes are ignored by readers
+            if obj in targets:
+                return False  # duplicate vote for the same object
+            targets.append(obj)
+            effective = True
+        if effective:
+            self._rounds.append(post.round_no)
+            self._players.append(player)
+            self._objects.append(obj)
+            self._current_vote[player] = obj
+            self._voted_objects.setdefault(obj, post.round_no)
+        return effective
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def effective_vote_count(self) -> int:
+        """Total number of effective votes recorded so far."""
+        return len(self._objects)
+
+    def votes_of(self, player: int) -> Tuple[int, ...]:
+        """All effective vote targets of ``player``, in posting order."""
+        return tuple(self._votes_by_player[player])
+
+    def current_vote_array(self, before_round: Optional[int] = None) -> np.ndarray:
+        """Each player's current advice target (``-1`` when none).
+
+        With ``before_round`` given, only votes posted in rounds strictly
+        earlier than ``before_round`` are considered — this is the honest
+        player's view at the start of that round. Without it, the full
+        ledger state (the adversary's end-of-round view) is returned.
+
+        In ``MULTI`` mode the *first* vote is the advice target; Section 4.1
+        only needs one of the honest player's votes to be correct, and the
+        first is the one cast by the protocol itself.
+        """
+        if before_round is None:
+            if self.mode is VoteMode.MULTI:
+                return self._first_vote_array(len(self._objects))
+            return self._current_vote.copy()
+        cutoff = self._count_before(before_round)
+        if self.mode is VoteMode.MULTI:
+            return self._first_vote_array(cutoff)
+        result = np.full(self.n_players, -1, dtype=np.int64)
+        # Walk forward so the latest vote before the cutoff wins (MUTABLE);
+        # in SINGLE mode there is at most one effective vote per player.
+        for idx in range(cutoff):
+            result[self._players[idx]] = self._objects[idx]
+        return result
+
+    def _first_vote_array(self, cutoff: int) -> np.ndarray:
+        result = np.full(self.n_players, -1, dtype=np.int64)
+        for idx in range(cutoff):
+            player = self._players[idx]
+            if result[player] == -1:
+                result[player] = self._objects[idx]
+        return result
+
+    def objects_with_votes(self, before_round: Optional[int] = None) -> np.ndarray:
+        """Sorted ids of objects having at least one effective vote.
+
+        This is the candidate pool ``S`` of Step 1.2 of ATTEMPT.
+        """
+        if before_round is None:
+            return np.array(sorted(self._voted_objects), dtype=np.int64)
+        cutoff = self._count_before(before_round)
+        return np.unique(np.asarray(self._objects[:cutoff], dtype=np.int64))
+
+    def counts_in_window(self, start_round: int, end_round: int) -> np.ndarray:
+        """Effective votes per object posted in rounds ``[start, end)``.
+
+        This realizes the shared variable ``l_t(i)`` of Figure 1: "the
+        number of votes object *i* receives in iteration *t*", where the
+        iteration is identified with its round window. Returns an array of
+        length ``n_objects``.
+
+        In ``MUTABLE`` mode a player that switched votes several times
+        within the window contributes only its final switch.
+        """
+        if end_round < start_round:
+            raise ConfigurationError(
+                f"empty-negative window [{start_round}, {end_round})"
+            )
+        counts = np.zeros(self.n_objects, dtype=np.int64)
+        if self.mode is VoteMode.MUTABLE:
+            last_in_window: Dict[int, int] = {}
+            for idx in range(len(self._objects)):
+                if start_round <= self._rounds[idx] < end_round:
+                    last_in_window[self._players[idx]] = self._objects[idx]
+            for obj in last_in_window.values():
+                counts[obj] += 1
+            return counts
+        for idx in range(len(self._objects)):
+            if start_round <= self._rounds[idx] < end_round:
+                counts[self._objects[idx]] += 1
+        return counts
+
+    def votes_cast_by(self, players: np.ndarray) -> int:
+        """Total effective votes cast by the given player ids.
+
+        Used by tests to check the dishonest vote budget of Lemma 7:
+        at most ``(1 - α)n`` effective dishonest votes ever (``f`` times
+        that in MULTI mode).
+        """
+        return int(sum(len(self._votes_by_player[int(p)]) for p in players))
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _count_before(self, before_round: int) -> int:
+        """Number of effective votes posted strictly before ``before_round``.
+
+        Rounds are appended in non-decreasing order, so binary search is
+        exact.
+        """
+        return bisect.bisect_left(self._rounds, before_round)

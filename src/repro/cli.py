@@ -1,0 +1,286 @@
+"""Command-line interface.
+
+Installed as the ``repro`` console script::
+
+    repro list                                  # experiments & adversaries
+    repro experiment E3 --scale smoke           # run one experiment
+    repro run --n 512 --alpha 0.7 --adversary split-vote
+    repro gauntlet --n 256 --alpha 0.4          # all adversaries at once
+
+Every command prints the same ASCII tables the benches archive, so the
+CLI is the quickest way to poke at the reproduction without writing
+code.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.adversaries.registry import available_adversaries, make_adversary
+from repro.analysis.bounds import thm4_expected_rounds
+from repro.core.distill import DistillStrategy
+from repro.core.distill_hp import DistillHPStrategy
+from repro.core.alpha_doubling import AlphaDoublingStrategy
+from repro.baselines.async_ec04 import AsyncEC04Strategy
+from repro.baselines.trivial import TrivialStrategy
+from repro.errors import ReproError
+from repro.experiments import (
+    available_experiments,
+    generate_report,
+    run_experiment,
+)
+from repro.experiments.tables import Table
+from repro.sim.engine import EngineConfig
+from repro.sim.runner import run_trials
+from repro.world.generators import planted_instance
+
+STRATEGIES = {
+    "distill": DistillStrategy,
+    "distill-hp": DistillHPStrategy,
+    "alpha-doubling": AlphaDoublingStrategy,
+    "async-ec04": AsyncEC04Strategy,
+    "trivial": TrivialStrategy,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Adaptive Collaboration in Peer-to-Peer "
+            "Systems' (ICDCS 2005)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments, strategies, adversaries")
+
+    exp = sub.add_parser("experiment", help="run one experiment (E1..A4)")
+    exp.add_argument("experiment_id")
+    exp.add_argument("--scale", choices=["smoke", "full"], default="smoke")
+    exp.add_argument("--seed", type=int, default=0)
+    exp.add_argument("--out", help="also write the table to this file")
+
+    run = sub.add_parser("run", help="one Monte-Carlo cell")
+    run.add_argument("--n", type=int, default=256)
+    run.add_argument("--m", type=int, default=None, help="default: n")
+    run.add_argument("--alpha", type=float, default=0.7)
+    run.add_argument("--beta", type=float, default=1 / 16)
+    run.add_argument(
+        "--strategy", choices=sorted(STRATEGIES), default="distill"
+    )
+    run.add_argument(
+        "--adversary",
+        choices=available_adversaries() + ["none"],
+        default="split-vote",
+    )
+    run.add_argument("--trials", type=int, default=16)
+    run.add_argument("--seed", type=int, default=0)
+
+    bounds = sub.add_parser(
+        "bounds", help="print the paper's bound curves at one point"
+    )
+    bounds.add_argument("--n", type=int, default=1024)
+    bounds.add_argument("--m", type=int, default=None, help="default: n")
+    bounds.add_argument("--alpha", type=float, default=0.7)
+    bounds.add_argument("--beta", type=float, default=1 / 16)
+    bounds.add_argument("--q0", type=float, default=1.0)
+
+    show = sub.add_parser(
+        "show", help="run one world and render the dashboard"
+    )
+    show.add_argument("--n", type=int, default=256)
+    show.add_argument("--alpha", type=float, default=0.6)
+    show.add_argument("--beta", type=float, default=1 / 16)
+    show.add_argument(
+        "--adversary",
+        choices=available_adversaries() + ["none"],
+        default="flood",
+    )
+    show.add_argument("--seed", type=int, default=0)
+
+    rep = sub.add_parser(
+        "report", help="run experiments and emit one markdown report"
+    )
+    rep.add_argument(
+        "--ids", nargs="*", default=None,
+        help="experiment ids (default: all)",
+    )
+    rep.add_argument("--scale", choices=["smoke", "full"], default="smoke")
+    rep.add_argument("--seed", type=int, default=0)
+    rep.add_argument("--out", help="write the report here (default stdout)")
+
+    g = sub.add_parser("gauntlet", help="every adversary vs one strategy")
+    g.add_argument("--n", type=int, default=256)
+    g.add_argument("--alpha", type=float, default=0.4)
+    g.add_argument("--beta", type=float, default=1 / 16)
+    g.add_argument(
+        "--strategy", choices=sorted(STRATEGIES), default="distill"
+    )
+    g.add_argument("--trials", type=int, default=8)
+    g.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def cmd_list() -> int:
+    print("experiments (repro experiment <id>):")
+    for eid in available_experiments():
+        print(f"  {eid}")
+    print("strategies (--strategy):")
+    for name in sorted(STRATEGIES):
+        print(f"  {name}")
+    print("adversaries (--adversary):")
+    for name in available_adversaries():
+        print(f"  {name}")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    result = run_experiment(args.experiment_id, args.scale, args.seed)
+    rendered = result.render()
+    print(rendered)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(rendered + "\n")
+    return 0 if result.all_checks_pass else 1
+
+
+def _measure_cell(args, adversary_name: str):
+    m = args.m if getattr(args, "m", None) else args.n
+    return run_trials(
+        make_instance=lambda rng: planted_instance(
+            n=args.n, m=m, beta=args.beta, alpha=args.alpha, rng=rng
+        ),
+        make_strategy=STRATEGIES[args.strategy],
+        make_adversary=(
+            (lambda: None)
+            if adversary_name == "none"
+            else (lambda: make_adversary(adversary_name))
+        ),
+        n_trials=args.trials,
+        seed=(args.seed, len(adversary_name)),
+        config=EngineConfig(max_rounds=1_000_000),
+    )
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    res = _measure_cell(args, args.adversary)
+    bound = thm4_expected_rounds(args.n, args.alpha, args.beta)
+    print(
+        f"{args.strategy} vs {args.adversary} "
+        f"(n={args.n}, alpha={args.alpha}, beta={args.beta:g}, "
+        f"{args.trials} trials)"
+    )
+    print(f"  mean individual rounds : {res.describe('mean_individual_rounds')}")
+    print(f"  mean individual probes : {res.describe('mean_individual_probes')}")
+    print(f"  last-player rounds     : {res.describe('max_individual_rounds')}")
+    print(f"  success rate           : {res.success_rate():.3f}")
+    print(f"  Theorem 4 curve        : {bound:.2f} (constant-free)")
+    return 0 if res.success_rate() == 1.0 else 1
+
+
+def cmd_bounds(args: argparse.Namespace) -> int:
+    from repro.analysis.card import theory_card
+
+    m = args.m if args.m else args.n
+    print(theory_card(args.n, m, args.alpha, args.beta, args.q0))
+    return 0
+
+
+def cmd_show(args: argparse.Namespace) -> int:
+    from repro.sim.engine import SynchronousEngine
+    from repro.viz import render_run
+    from repro.world.generators import planted_instance
+
+    instance = planted_instance(
+        n=args.n, m=args.n, beta=args.beta, alpha=args.alpha,
+        rng=np.random.default_rng(args.seed),
+    )
+    engine = SynchronousEngine(
+        instance,
+        DistillStrategy(),
+        adversary=(
+            None
+            if args.adversary == "none"
+            else make_adversary(args.adversary)
+        ),
+        rng=np.random.default_rng(args.seed + 1),
+        adversary_rng=np.random.default_rng(args.seed + 2),
+    )
+    metrics = engine.run()
+    print(render_run(engine, metrics))
+    return 0 if metrics.all_honest_satisfied else 1
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    report = generate_report(
+        experiment_ids=args.ids, scale=args.scale, seed=args.seed
+    )
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(report + "\n")
+        print(f"report written to {args.out}")
+    else:
+        print(report)
+    return 0
+
+
+def cmd_gauntlet(args: argparse.Namespace) -> int:
+    table = Table(
+        ["adversary", "rounds", "probes", "tail", "success"],
+        formats={
+            "rounds": ".2f",
+            "probes": ".2f",
+            "tail": ".1f",
+            "success": ".2f",
+        },
+    )
+    ok = True
+    for name in available_adversaries():
+        res = _measure_cell(args, name)
+        ok &= res.success_rate() == 1.0
+        table.add_row(
+            adversary=name,
+            rounds=res.mean("mean_individual_rounds"),
+            probes=res.mean("mean_individual_probes"),
+            tail=res.mean("max_individual_rounds"),
+            success=res.success_rate(),
+        )
+    print(
+        f"{args.strategy} gauntlet "
+        f"(n={args.n}, alpha={args.alpha}, beta={args.beta:g})"
+    )
+    print(table.render())
+    return 0 if ok else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "list":
+            return cmd_list()
+        if args.command == "experiment":
+            return cmd_experiment(args)
+        if args.command == "run":
+            return cmd_run(args)
+        if args.command == "bounds":
+            return cmd_bounds(args)
+        if args.command == "show":
+            return cmd_show(args)
+        if args.command == "report":
+            return cmd_report(args)
+        if args.command == "gauntlet":
+            return cmd_gauntlet(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,82 @@
+"""Guessing ``α`` by halving (Section 5.1).
+
+Figure 1 hardwires ``α``. The paper removes the assumption with the
+standard doubling (here: halving) trick, on top of the high-probability
+variant: choose ``k1, k2`` so that DISTILL^HP terminates within
+``k3 · (log n / α) · (1/(β n) + 1)`` rounds with probability at least
+``1 - n^{-2}`` (such constants exist by Theorem 11 and are independent of
+``α``); then for ``i = 0, 1, 2, ..., log n`` run that algorithm for exactly
+``2^i · k3 · log n · (1/(β n) + 1)`` rounds with ``α := 2^{-i}`` hardwired.
+
+Once ``2^{-i}`` drops to the true honest fraction ``α0``, the stage
+succeeds despite the "after effects" of earlier stages (some players
+already satisfied — they only help; some dishonest votes already cast —
+covered by the vote-budget argument). Total time is at most twice the last
+stage's, i.e. ``O(log n/(α0 β n) + log n/α0)`` — the Theorem 11 bound
+without knowing ``α0``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.core.distill_hp import DistillHPStrategy
+from repro.core.staged import Stage, StagedStrategy
+from repro.strategies.base import StrategyContext
+
+
+class AlphaDoublingStrategy(StagedStrategy):
+    """The Section 5.1 wrapper: DISTILL^HP under halved ``α`` guesses.
+
+    Parameters
+    ----------
+    k3:
+        Round-budget constant of the wrapper (the paper's ``k3``).
+    hp_scale:
+        The Θ(log n) constant handed to the inner DISTILL^HP stages.
+    """
+
+    name = "alpha-doubling"
+
+    def __init__(self, k3: float = 4.0, hp_scale: float = 1.0) -> None:
+        self.k3 = k3
+        self.hp_scale = hp_scale
+
+    def build_stages(self, ctx: StrategyContext) -> List[Stage]:
+        from repro.analysis.bounds import lemma7_iteration_bound
+        from repro.core.distill_hp import hp_parameters
+
+        log_n = math.log2(max(ctx.n, 2))
+        base_budget = self.k3 * log_n * (1.0 / (ctx.beta * ctx.n) + 1.0)
+        stages: List[Stage] = []
+        max_i = max(0, math.ceil(log_n))
+        for i in range(max_i + 1):
+            guess = 2.0 ** (-i)
+            # Stage i runs for 2^i times the paper's base budget, but never
+            # less than one full ATTEMPT of the inner algorithm at the
+            # guessed alpha (otherwise the stage could not possibly
+            # succeed and its rounds would be pure waste).
+            params = hp_parameters(ctx.n, scale=self.hp_scale, alpha=guess)
+            attempt_rounds = params.attempt_rounds_estimate(
+                ctx.n,
+                ctx.alpha,
+                ctx.beta,
+                expected_iterations=lemma7_iteration_bound(ctx.n, guess)
+                + 1.0,
+            )
+            budget = max(
+                2,
+                math.ceil((2.0 ** i) * base_budget),
+                math.ceil(1.5 * attempt_rounds),
+            )
+            stages.append(
+                Stage(
+                    strategy=DistillHPStrategy(
+                        scale=self.hp_scale, alpha=guess
+                    ),
+                    budget_rounds=budget,
+                    label=f"alpha-guess=2^-{i}",
+                )
+            )
+        return stages

@@ -1,0 +1,84 @@
+"""DISTILL^HP — the high-probability variant (Theorem 11).
+
+Theorem 11: with ``k1 = Θ(log n)`` and ``k2 = Θ(log n)``, every honest
+player terminates within ``O(log n/(α β n) + log n/α)`` rounds with
+probability ``1 - n^{-Ω(1)}`` against any adaptive Byzantine adversary.
+The per-invocation failure probability of ATTEMPT,
+``e^{-k1/2} + e^{-k2/16} + 9 e^{-k2/64}`` (Lemmas 8 and 10), becomes
+polynomially small, so a single invocation almost always succeeds.
+
+The algorithm is literally DISTILL with larger constants; this module only
+provides the parameter recipe and a convenience subclass that resolves the
+constants from ``n`` at reset time.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.core.distill import DistillStrategy
+from repro.core.parameters import DistillParameters
+from repro.strategies.base import StrategyContext
+
+
+def hp_parameters(
+    n: int,
+    scale: float = 1.0,
+    alpha: Optional[float] = None,
+    beta: Optional[float] = None,
+    k1_floor: float = 2.0,
+    k2_floor: float = 8.0,
+) -> DistillParameters:
+    """The Theorem 11 recipe: ``k1, k2 = Θ(log n)``.
+
+    ``scale`` multiplies the ``log2 n`` terms (the theorem's hidden
+    constant); the floors keep tiny ``n`` sane.
+    """
+    log_n = math.log2(max(n, 2))
+    return DistillParameters(
+        k1=max(k1_floor, scale * log_n),
+        k2=max(k2_floor, 2.0 * scale * log_n),
+        alpha=alpha,
+        beta=beta,
+    )
+
+
+class DistillHPStrategy(DistillStrategy):
+    """DISTILL with ``k1, k2 = Θ(log n)``, resolved from the context's ``n``.
+
+    Parameters
+    ----------
+    scale:
+        Constant in front of ``log2 n``.
+    alpha, beta:
+        Optional protocol-assumed values overriding the context's (the
+        Section 5.1 wrapper passes guessed ``α`` values).
+    universe:
+        Optional object-pool restriction (Theorem 12 cost classes).
+    """
+
+    name = "distill-hp"
+
+    def __init__(
+        self,
+        scale: float = 1.0,
+        alpha: Optional[float] = None,
+        beta: Optional[float] = None,
+        universe: Optional[np.ndarray] = None,
+    ) -> None:
+        super().__init__(params=None, universe=universe)
+        self._scale = scale
+        self._alpha_override = alpha
+        self._beta_override = beta
+
+    def reset(self, ctx: StrategyContext, rng: np.random.Generator) -> None:
+        self.params = hp_parameters(
+            ctx.n,
+            scale=self._scale,
+            alpha=self._alpha_override,
+            beta=self._beta_override,
+        )
+        super().reset(ctx, rng)

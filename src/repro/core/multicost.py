@@ -1,0 +1,164 @@
+"""Multiple costs via cost classes (Theorem 12, Section 5.2).
+
+Objects with similar costs are aggregated into classes — class ``i`` holds
+costs in ``[2^i, 2^(i+1))`` (w.l.o.g. all costs >= 1). The algorithm runs a
+series of DISTILL^HP instances: first on class 0 only, then class 1, and so
+on, each under the minimal assumption ``β = 1/m_i`` (at least one good
+object in the class) and each for its prescribed high-probability round
+budget. The series stops as soon as the honest players are satisfied —
+which happens, w.h.p., by the class ``i0 = log q0`` containing the cheapest
+good object, giving per-player payment
+
+    sum_{i<=i0} 2^{i+1} (m_i log n/(α n) + log n/α) = O(q0 · m log n/(α n)).
+
+The class sequencing is a :class:`~repro.core.staged.StagedStrategy`; the
+engine's satisfied-players bookkeeping makes early classes' survivors carry
+into later ones, and the run ends the moment everyone has found a good
+object (cheap classes are never over-probed).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.analysis.bounds import thm12_payment_bound
+from repro.core.distill_hp import DistillHPStrategy
+from repro.core.staged import Stage, StagedStrategy
+from repro.errors import ConfigurationError
+from repro.sim.engine import EngineConfig, SynchronousEngine
+from repro.sim.metrics import RunMetrics
+from repro.strategies.base import StrategyContext
+from repro.world.instance import Instance
+
+
+class MulticostStrategy(StagedStrategy):
+    """DISTILL^HP over increasing cost classes (Theorem 12).
+
+    Parameters
+    ----------
+    class_universes:
+        Object ids per cost class, cheapest class first (empty classes
+        allowed; they are skipped). Players know object costs (they are
+        public in the model), so this schedule is legitimately computable
+        by every honest player.
+    k3:
+        Round-budget constant per class.
+    hp_scale:
+        Θ(log n) constant for the inner DISTILL^HP stages.
+    """
+
+    name = "multicost"
+
+    def __init__(
+        self,
+        class_universes: List[np.ndarray],
+        k3: float = 3.0,
+        hp_scale: float = 1.0,
+    ) -> None:
+        if not class_universes:
+            raise ConfigurationError("need at least one cost class")
+        self.class_universes = [
+            np.asarray(u, dtype=np.int64) for u in class_universes
+        ]
+        self.k3 = k3
+        self.hp_scale = hp_scale
+
+    def build_stages(self, ctx: StrategyContext) -> List[Stage]:
+        from repro.analysis.bounds import lemma7_iteration_bound
+        from repro.core.distill_hp import hp_parameters
+
+        stages: List[Stage] = []
+        for klass, universe in enumerate(self.class_universes):
+            m_i = int(universe.size)
+            if m_i == 0:
+                continue
+            # Budget = k3/2 full ATTEMPT invocations of the actual inner
+            # algorithm at beta = 1/m_i. ATTEMPT succeeds with constant
+            # probability per invocation (Theorem 4's proof), so a couple
+            # of invocations per class realizes the Theorem 12 schedule;
+            # sizing from the real phase lengths (rather than the paper's
+            # O(log n (m_i/n + 1)/alpha), which hides the same quantity
+            # behind a constant) keeps stages long enough to finish at
+            # least one ATTEMPT at every (n, m_i, alpha).
+            params = hp_parameters(ctx.n, scale=self.hp_scale)
+            attempt_rounds = params.attempt_rounds_estimate(
+                ctx.n,
+                ctx.alpha,
+                1.0 / m_i,
+                expected_iterations=lemma7_iteration_bound(ctx.n, ctx.alpha)
+                + 1.0,
+            )
+            budget = max(2, math.ceil(self.k3 / 2.0 * attempt_rounds))
+            stages.append(
+                Stage(
+                    strategy=DistillHPStrategy(
+                        scale=self.hp_scale,
+                        beta=1.0 / m_i,
+                        universe=universe,
+                    ),
+                    budget_rounds=budget,
+                    label=f"cost-class-{klass} (m_i={m_i})",
+                )
+            )
+        if not stages:
+            raise ConfigurationError("all cost classes are empty")
+        return stages
+
+
+@dataclass
+class MulticostOutcome:
+    """Result of a Theorem 12 run, with the quantities the theorem names."""
+
+    metrics: RunMetrics
+    q0: float
+    mean_payment: float
+    max_payment: float
+    bound_payment: float
+
+    @property
+    def payment_over_bound(self) -> float:
+        """Measured mean payment / theoretical bound (constant-free)."""
+        return self.mean_payment / self.bound_payment
+
+
+def run_multicost(
+    instance: Instance,
+    rng: np.random.Generator,
+    adversary=None,
+    adversary_rng: Optional[np.random.Generator] = None,
+    k3: float = 3.0,
+    hp_scale: float = 1.0,
+    config: Optional[EngineConfig] = None,
+) -> MulticostOutcome:
+    """Run the Theorem 12 algorithm on a cost-class instance.
+
+    Builds the class schedule from the instance's (public) costs, runs one
+    engine, and reports payments against the ``q0 · m log n/(α n)`` bound.
+    """
+    space = instance.space
+    classes = [
+        space.cost_class_members(k) for k in range(space.n_cost_classes())
+    ]
+    strategy = MulticostStrategy(classes, k3=k3, hp_scale=hp_scale)
+    engine = SynchronousEngine(
+        instance,
+        strategy,
+        adversary=adversary,
+        rng=rng,
+        adversary_rng=adversary_rng,
+        config=config,
+    )
+    metrics = engine.run()
+    q0 = space.cheapest_good_cost
+    bound = thm12_payment_bound(q0, instance.m, instance.n, instance.alpha)
+    return MulticostOutcome(
+        metrics=metrics,
+        q0=q0,
+        mean_payment=metrics.mean_individual_paid,
+        max_payment=float(metrics.honest_paid.max()),
+        bound_payment=bound,
+    )

@@ -1,0 +1,96 @@
+"""Multiple votes and erroneous votes (Section 4.1).
+
+The paper's analysis leans on "one vote per player", which caps the damage
+of a dishonest player. Section 4.1 observes there is nothing special about
+one: allowing up to ``f`` positive votes per player — and tolerating
+erroneous votes by honest players, as long as one of each honest player's
+votes is correct — leaves Theorem 4's asymptotics unchanged while
+``f = o(1/(1-α))``.
+
+Concretization (documented in DESIGN.md): the run's billboard uses
+``VoteMode.MULTI`` with cap ``f`` for *everyone* — dishonest players get an
+``f``-fold vote budget, which is exactly the relaxed damage bound the
+section analyzes. Honest errors are modeled as mistaken recommendations:
+while still searching, an honest player probing a bad object erroneously
+vouches for it with probability ``error_rate`` (an eBay transaction that
+looked fine at first). The player *continues probing* — the billboard is
+append-only, so the bogus vote stays — and caps itself at ``f - 1``
+erroneous votes so that its final, genuine vote (cast when it truly finds
+a good object, whereupon it halts) is always effective. That is precisely
+the "at least one correct positive vote" condition.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.distill import DistillStrategy
+from repro.core.parameters import DistillParameters
+from repro.errors import ConfigurationError
+from repro.strategies.base import StrategyContext
+
+
+class MultiVoteDistill(DistillStrategy):
+    """DISTILL under the ``f``-votes / erroneous-votes model of Section 4.1.
+
+    Run it with ``EngineConfig(vote_mode=VoteMode.MULTI,
+    max_votes_per_player=f)`` so the reader-side ledger applies the same
+    ``f`` cap to every identity.
+
+    Parameters
+    ----------
+    f:
+        Maximum positive votes per player (the section's ``f``).
+    error_rate:
+        Per-probe probability that an honest player erroneously vouches
+        for a bad object it just probed (0 disables errors).
+    """
+
+    name = "distill-multivote"
+
+    def __init__(
+        self,
+        f: int = 2,
+        error_rate: float = 0.0,
+        params: Optional[DistillParameters] = None,
+    ) -> None:
+        super().__init__(params=params)
+        if f < 1:
+            raise ConfigurationError(f"f must be >= 1, got {f}")
+        if not 0 <= error_rate < 1:
+            raise ConfigurationError(
+                f"error_rate must be in [0, 1), got {error_rate}"
+            )
+        if error_rate > 0 and f < 2:
+            raise ConfigurationError(
+                "erroneous votes need f >= 2 so the final genuine vote "
+                "stays effective (Section 4.1's 'one correct vote')"
+            )
+        self.f = f
+        self.error_rate = error_rate
+
+    def reset(self, ctx: StrategyContext, rng: np.random.Generator) -> None:
+        super().reset(ctx, rng)
+        self._erroneous_votes = np.zeros(ctx.n, dtype=np.int64)
+
+    def handle_results(
+        self,
+        round_no: int,
+        players: np.ndarray,
+        objects: np.ndarray,
+        values: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        threshold = self.ctx.good_threshold
+        genuine = values >= threshold
+        vote = genuine.copy()
+        if self.error_rate > 0:
+            flips = self.rng.random(players.size) < self.error_rate
+            can_err = self._erroneous_votes[players] < self.f - 1
+            erroneous = ~genuine & flips & can_err
+            self._erroneous_votes[players[erroneous]] += 1
+            vote |= erroneous
+        # halt only on a genuine local-test pass; erroneous votes do not
+        # stop the search (the player just mis-recommended and moves on).
+        return vote, genuine

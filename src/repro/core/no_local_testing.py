@@ -1,0 +1,106 @@
+"""Search without local testing (Theorem 13, Section 5.3).
+
+When goodness is not locally testable, an object is good only relatively —
+it is among the top ``β·m`` values. The tweak to DISTILL^HP:
+
+* a player's vote is the **highest-value object it has personally probed
+  so far**, so the vote can change as the execution progresses (the
+  billboard stays append-only; readers take the latest vote — the
+  ``MUTABLE`` ledger mode);
+* nobody halts on a probe; instead the algorithm runs for a **prescribed
+  number of rounds** (a function of ``β``, which is part of the input in
+  this model), after which all players stop. With high probability every
+  honest player has probed a good object by then.
+
+Run it with ``EngineConfig(vote_mode=VoteMode.MUTABLE)``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.billboard.views import BillboardView
+from repro.core.distill_hp import hp_parameters
+from repro.core.tracker import DistillPhaseTracker
+from repro.strategies.base import Strategy, StrategyContext
+from repro.strategies.probe_advice import AdviceAlternator
+
+
+class NoLocalTestingDistill(Strategy):
+    """DISTILL^HP with best-so-far mutable votes and a prescribed run length.
+
+    Parameters
+    ----------
+    k3:
+        Constant of the prescribed run length
+        ``k3 * (log n/(α β n) + log n/α)`` rounds (Theorem 13's bound).
+    hp_scale:
+        Θ(log n) constant for the underlying DISTILL^HP phase constants.
+    """
+
+    name = "distill-no-local-testing"
+
+    def __init__(self, k3: float = 6.0, hp_scale: float = 1.0) -> None:
+        self.k3 = k3
+        self.hp_scale = hp_scale
+
+    # ------------------------------------------------------------------
+    def reset(self, ctx: StrategyContext, rng: np.random.Generator) -> None:
+        super().reset(ctx, rng)
+        self.params = hp_parameters(ctx.n, scale=self.hp_scale)
+        self.tracker = DistillPhaseTracker(ctx, self.params)
+        self.alternator = AdviceAlternator(ctx.n)
+        self._best_value = np.full(ctx.n, -np.inf)
+        log_n = math.log2(max(ctx.n, 2))
+        self.prescribed_rounds = max(
+            2,
+            math.ceil(
+                self.k3
+                * (
+                    log_n / (ctx.alpha * ctx.beta * ctx.n)
+                    + log_n / ctx.alpha
+                )
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    def choose_probes(
+        self,
+        round_no: int,
+        active_players: np.ndarray,
+        view: BillboardView,
+    ) -> np.ndarray:
+        self.tracker.advance(round_no, view)
+        if self.tracker.is_advice_round(round_no):
+            return self.alternator.advise(active_players.size, view, self.rng)
+        return self.alternator.explore(
+            self.tracker.pool, active_players.size, self.rng
+        )
+
+    def handle_results(
+        self,
+        round_no: int,
+        players: np.ndarray,
+        objects: np.ndarray,
+        values: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        improved = values > self._best_value[players]
+        self._best_value[players[improved]] = values[improved]
+        halts = np.zeros(players.size, dtype=bool)  # stop only at the bell
+        return improved, halts
+
+    def finished(self, round_no: int) -> bool:
+        return round_no >= self.prescribed_rounds
+
+    def info(self) -> Dict[str, Any]:
+        out = self.tracker.diagnostics()
+        out.update(
+            algorithm=self.name,
+            prescribed_rounds=self.prescribed_rounds,
+            k1=self.params.k1,
+            k2=self.params.k2,
+        )
+        return out

@@ -1,0 +1,111 @@
+"""DISTILL's tunable constants and phase-length arithmetic.
+
+Figure 1 leaves two constants free: ``k1`` (Step 1.1 repetitions, controls
+the probability that *some* honest player finds a good object) and ``k2``
+(Step 1.3 repetitions and the ``k2/4`` entry threshold for the initial
+candidate set ``C0``). The proof of Theorem 4 works for ``k1 >= 1`` and
+``k2 >= 192`` — constants chosen for proof convenience, not practice; the
+defaults here are pragmatic values at which the measured expected cost is
+near its floor (see the E3/E5 benches), and every experiment can override
+them.
+
+Loop counts such as ``k1/(α·β·n)`` are real numbers in the paper; we run
+``max(1, ceil(·))`` invocations. Each PROBE&SEEKADVICE invocation spans two
+rounds (explore + advice), per Lemma 6's "every second probe follows a
+recommendation".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+
+def invocation_count(quantity: float) -> int:
+    """``max(1, ceil(quantity))`` — a paper-style loop bound in invocations."""
+    if math.isinf(quantity) or math.isnan(quantity):
+        raise ConfigurationError(f"non-finite loop bound {quantity}")
+    return max(1, math.ceil(quantity - 1e-12))
+
+
+@dataclass(frozen=True)
+class DistillParameters:
+    """Constants of Figure 1 plus the protocol's assumed ``α`` and ``β``.
+
+    ``alpha``/``beta`` default to ``None`` = "use the context's values";
+    Section 5.1's wrapper passes explicit (guessed) ``alpha`` values.
+    """
+
+    k1: float = 4.0
+    k2: float = 8.0
+    alpha: Optional[float] = None
+    beta: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.k1 <= 0 or self.k2 <= 0:
+            raise ConfigurationError(
+                f"k1 and k2 must be positive, got k1={self.k1}, k2={self.k2}"
+            )
+        for label, value in (("alpha", self.alpha), ("beta", self.beta)):
+            if value is not None and not 0 < value <= 1:
+                raise ConfigurationError(
+                    f"{label} must be in (0, 1], got {value}"
+                )
+
+    # ------------------------------------------------------------------
+    def resolved_alpha(self, ctx_alpha: float) -> float:
+        return self.alpha if self.alpha is not None else ctx_alpha
+
+    def resolved_beta(self, ctx_beta: float) -> float:
+        return self.beta if self.beta is not None else ctx_beta
+
+    def step11_invocations(self, n: int, ctx_alpha: float, ctx_beta: float) -> int:
+        """Step 1.1: ``k1/(α·β·n)`` PROBE&SEEKADVICE invocations."""
+        alpha = self.resolved_alpha(ctx_alpha)
+        beta = self.resolved_beta(ctx_beta)
+        return invocation_count(self.k1 / (alpha * beta * n))
+
+    def step13_invocations(self, ctx_alpha: float) -> int:
+        """Step 1.3: ``k2/α`` PROBE&SEEKADVICE invocations."""
+        return invocation_count(self.k2 / self.resolved_alpha(ctx_alpha))
+
+    def iteration_invocations(self, ctx_alpha: float) -> int:
+        """Step 2.1: ``1/α`` PROBE&SEEKADVICE invocations per iteration."""
+        return invocation_count(1.0 / self.resolved_alpha(ctx_alpha))
+
+    def attempt_rounds_estimate(
+        self,
+        n: int,
+        ctx_alpha: float,
+        ctx_beta: float,
+        expected_iterations: float = 2.0,
+    ) -> int:
+        """Rounds one ATTEMPT invocation occupies (Step 1 exactly, Step 2
+        at ``expected_iterations`` while-loop iterations).
+
+        Staged wrappers (Section 5.1, Theorem 12) size their stage budgets
+        from this so a stage always has room to complete at least one full
+        ATTEMPT — the property the per-stage success arguments need.
+        """
+        return (
+            2 * self.step11_invocations(n, ctx_alpha, ctx_beta)
+            + 2 * self.step13_invocations(ctx_alpha)
+            + math.ceil(expected_iterations)
+            * 2
+            * self.iteration_invocations(ctx_alpha)
+        )
+
+    @property
+    def c0_vote_threshold(self) -> float:
+        """Step 1.4: objects need at least ``k2/4`` votes to enter ``C0``."""
+        return self.k2 / 4.0
+
+    @staticmethod
+    def iteration_vote_threshold(n: int, c_t: int) -> float:
+        """Step 2.2: survival needs *strictly more than* ``n/(4·c_t)`` votes."""
+        if c_t <= 0:
+            raise ConfigurationError(f"c_t must be positive, got {c_t}")
+        return n / (4.0 * c_t)

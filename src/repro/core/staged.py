@@ -1,0 +1,116 @@
+"""Staged composition of DISTILL runs.
+
+Two of the paper's extensions run a *sequence* of DISTILL instances on one
+shared billboard:
+
+* Section 5.1 (guessing ``α``): run DISTILL^HP with guessed ``α = 2^{-i}``
+  for a prescribed number of rounds, for ``i = 0, 1, ..., log n``;
+* Theorem 12 (multiple costs): run DISTILL^HP on cost class ``i`` with
+  ``β = 1/m_i`` for a prescribed number of rounds, for each class.
+
+Both share the mechanics implemented here: a wrapper strategy that hands
+rounds to the current inner DISTILL cohort, rebased to start its ATTEMPT
+clock at the stage boundary, and advances to the next stage when the
+stage's round budget is exhausted. Billboard state (votes — honest and
+dishonest) and player satisfaction persist across stages, exactly the
+"after effects" the Section 5.1 argument accounts for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.billboard.views import BillboardView
+from repro.core.distill import DistillStrategy
+from repro.errors import ConfigurationError
+from repro.strategies.base import Strategy, StrategyContext
+
+
+@dataclass
+class Stage:
+    """One stage: an inner DISTILL cohort and its round budget."""
+
+    strategy: DistillStrategy
+    budget_rounds: int
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.budget_rounds < 2:
+            raise ConfigurationError(
+                f"stage budget must cover >= 2 rounds, got {self.budget_rounds}"
+            )
+
+
+class StagedStrategy(Strategy):
+    """Base class for stage-sequenced DISTILL wrappers.
+
+    Subclasses implement :meth:`build_stages`. The wrapper keeps the
+    local-testing vote/halt rule of the base :class:`Strategy`; inner
+    strategies contribute only their probe schedule (phase machine + coin
+    flips).
+    """
+
+    name = "staged"
+
+    def build_stages(self, ctx: StrategyContext) -> List[Stage]:
+        """Construct the stage sequence for this run."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def reset(self, ctx: StrategyContext, rng: np.random.Generator) -> None:
+        super().reset(ctx, rng)
+        self._stages = self.build_stages(ctx)
+        if not self._stages:
+            raise ConfigurationError("staged strategy needs >= 1 stage")
+        self._stage_idx = -1
+        self._stage_start = 0
+        self._stage_end = 0  # forces entry into stage 0 on the first round
+        self._exhausted = False
+
+    def _enter_next_stage(self, round_no: int) -> None:
+        self._stage_idx += 1
+        if self._stage_idx >= len(self._stages):
+            self._exhausted = True
+            return
+        stage = self._stages[self._stage_idx]
+        stage.strategy.reset(self.ctx, self.rng)
+        stage.strategy.rebase(round_no)
+        self._stage_start = round_no
+        self._stage_end = round_no + stage.budget_rounds
+
+    def _current(self, round_no: int) -> Optional[DistillStrategy]:
+        while not self._exhausted and round_no >= self._stage_end:
+            self._enter_next_stage(round_no)
+        if self._exhausted:
+            return None
+        return self._stages[self._stage_idx].strategy
+
+    # ------------------------------------------------------------------
+    def choose_probes(
+        self,
+        round_no: int,
+        active_players: np.ndarray,
+        view: BillboardView,
+    ) -> np.ndarray:
+        inner = self._current(round_no)
+        if inner is None:  # pragma: no cover - engine stops via finished()
+            return np.full(active_players.size, -1, dtype=np.int64)
+        return inner.choose_probes(round_no, active_players, view)
+
+    def finished(self, round_no: int) -> bool:
+        return self._current(round_no) is None
+
+    def info(self) -> Dict[str, Any]:
+        completed = self._stages[: self._stage_idx + 1]
+        return {
+            "algorithm": self.name,
+            "stages_entered": self._stage_idx + 1,
+            "stage_labels": [s.label for s in completed],
+            "stage_infos": [
+                s.strategy.info() if hasattr(s.strategy, "ctx") else {}
+                for s in completed
+            ],
+        }

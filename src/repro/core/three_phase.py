@@ -1,0 +1,108 @@
+"""The illustrative three-phase algorithm of Section 1.2.
+
+The paper motivates DISTILL with a simplified algorithm for ``m = n``
+objects and only ``√n`` dishonest players:
+
+    Each phase i consists of two rounds in which each player probes a
+    random object from a candidate set C_i and posts the result. C_i is
+    the set of objects recommended by at least θ_i players on the
+    billboard at the start of phase i, with θ_1 = 0, θ_2 = 1,
+    θ_3 = √n / 2.
+
+The claims to check empirically (bench E12):
+
+* each candidate set contains the good object ``i0`` with constant
+  probability — at least ``1 - 1/e`` for ``C_2``;
+* ``|C_2| <= √n + 1`` (the √n dishonest players add at most √n objects);
+* ``|C_3| <= 3`` (the dishonest budget buys at most 2 bad objects at
+  ``√n/2`` votes each);
+* in phase 3, players finish within 3 rounds by probing all of ``C_3``.
+
+Unlike DISTILL, candidate sets here use *cumulative* billboard counts at
+phase start ("recommended by at least θ_i players on the billboard"), and
+all probes are exploration (no advice rounds).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List
+
+import numpy as np
+
+from repro.billboard.views import BillboardView
+from repro.strategies.base import Strategy, StrategyContext
+
+
+class ThreePhaseStrategy(Strategy):
+    """The Section 1.2 three-phase candidate-refinement algorithm.
+
+    Designed for ``m = n`` with about ``√n`` dishonest players; it is a
+    demonstration, not a robust algorithm — exactly the paper's point
+    ("the simplistic analysis breaks down when the number of dishonest
+    players is large").
+    """
+
+    name = "three-phase"
+
+    #: rounds per refinement phase (the paper's "two rounds")
+    ROUNDS_PER_PHASE = 2
+    #: extra rounds granted to phase 3 ("halt within 3 rounds")
+    FINAL_ROUNDS = 3
+
+    def reset(self, ctx: StrategyContext, rng: np.random.Generator) -> None:
+        super().reset(ctx, rng)
+        if not ctx.supports_local_testing:
+            raise ValueError("the three-phase algorithm needs local testing")
+        sqrt_n = math.sqrt(ctx.n)
+        self.thresholds = [0.0, 1.0, sqrt_n / 2.0]
+        self._phase_starts = [0, 2, 4]
+        self._total_rounds = 2 * self.ROUNDS_PER_PHASE + self.FINAL_ROUNDS
+        self._candidate_log: List[np.ndarray] = []
+        self._current_pool = np.arange(ctx.m, dtype=np.int64)
+        self._phase = 0
+
+    # ------------------------------------------------------------------
+    def _enter_phase(self, phase: int, view: BillboardView) -> None:
+        threshold = self.thresholds[phase]
+        if threshold <= 0:
+            pool = np.arange(self.ctx.m, dtype=np.int64)
+        else:
+            counts = view.cumulative_vote_counts()
+            pool = np.flatnonzero(counts >= threshold).astype(np.int64)
+        self._current_pool = pool
+        self._candidate_log.append(pool.copy())
+        self._phase = phase
+
+    def choose_probes(
+        self,
+        round_no: int,
+        active_players: np.ndarray,
+        view: BillboardView,
+    ) -> np.ndarray:
+        for phase, start in enumerate(self._phase_starts):
+            if round_no == start:
+                self._enter_phase(phase, view)
+        pool = self._current_pool
+        if pool.size == 0:
+            return np.full(active_players.size, -1, dtype=np.int64)
+        if self._phase == 2:
+            # Final phase: sweep the (tiny) candidate set deterministically,
+            # staggered per player so the whole set is covered in |C_3|
+            # rounds regardless of coin luck.
+            offset = round_no - self._phase_starts[2]
+            idx = (np.arange(active_players.size) + offset) % pool.size
+            return pool[idx].astype(np.int64)
+        picks = self.rng.integers(pool.size, size=active_players.size)
+        return pool[picks].astype(np.int64)
+
+    def finished(self, round_no: int) -> bool:
+        return round_no >= self._total_rounds
+
+    def info(self) -> Dict[str, Any]:
+        return {
+            "algorithm": self.name,
+            "thresholds": list(self.thresholds),
+            "candidate_sets": [c.tolist() for c in self._candidate_log],
+            "candidate_sizes": [int(c.size) for c in self._candidate_log],
+        }

@@ -1,0 +1,44 @@
+"""Experiment harness: every theorem of the paper as a measured table.
+
+The paper is an extended abstract whose evaluation is its theorem set;
+DESIGN.md's per-experiment index maps each theorem/corollary/lemma to an
+experiment id (E1..E12). Each experiment here produces an
+:class:`~repro.experiments.config.ExperimentResult` — titled rows plus
+shape checks — which the benches render and EXPERIMENTS.md records.
+
+Usage::
+
+    from repro.experiments import run_experiment
+    result = run_experiment("E3", scale="smoke", seed=0)
+    print(result.render())
+"""
+
+from repro.experiments.config import ExperimentResult, Scale
+from repro.experiments.tables import Table, format_series
+from repro.experiments.report import (
+    generate_report,
+    result_from_dict,
+    result_from_json,
+    result_to_dict,
+    result_to_json,
+)
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    available_experiments,
+    run_experiment,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "Scale",
+    "Table",
+    "available_experiments",
+    "format_series",
+    "generate_report",
+    "result_from_dict",
+    "result_from_json",
+    "result_to_dict",
+    "result_to_json",
+    "run_experiment",
+]

@@ -1,0 +1,43 @@
+"""Shared plumbing for the experiment definitions."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.adversaries.base import Adversary
+from repro.sim.engine import EngineConfig
+from repro.sim.runner import TrialResults, run_trials
+from repro.strategies.base import Strategy
+from repro.world.generators import planted_instance
+from repro.world.instance import Instance
+
+
+def planted_factory(
+    n: int, m: int, beta: float, alpha: float
+) -> Callable[[np.random.Generator], Instance]:
+    """Instance factory for the standard unit-cost planted world."""
+    return lambda rng: planted_instance(n=n, m=m, beta=beta, alpha=alpha, rng=rng)
+
+
+def measure(
+    make_instance: Callable[[np.random.Generator], Instance],
+    make_strategy: Callable[[], Strategy],
+    make_adversary: Callable[[], Optional[Adversary]] = lambda: None,
+    trials: int = 16,
+    seed: int = 0,
+    max_rounds: int = 500_000,
+    config: Optional[EngineConfig] = None,
+) -> TrialResults:
+    """``run_trials`` with the experiment-wide defaults."""
+    if config is None:
+        config = EngineConfig(max_rounds=max_rounds)
+    return run_trials(
+        make_instance=make_instance,
+        make_strategy=make_strategy,
+        make_adversary=make_adversary,
+        n_trials=trials,
+        seed=seed,
+        config=config,
+    )

@@ -1,0 +1,79 @@
+"""Experiment results and scale presets.
+
+``Scale.SMOKE`` runs in seconds (used by the test suite to exercise every
+experiment end-to-end); ``Scale.FULL`` is what the benches run and what
+EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.experiments.tables import Table
+
+
+class Scale(enum.Enum):
+    """How big an experiment run is."""
+
+    SMOKE = "smoke"
+    FULL = "full"
+
+
+@dataclass
+class ExperimentResult:
+    """The output of one experiment run.
+
+    Attributes
+    ----------
+    experiment_id:
+        "E1".."E12" per DESIGN.md's index.
+    title, claim:
+        What is being reproduced and the paper's statement of it.
+    columns:
+        Column order for rendering.
+    rows:
+        One dict per table row.
+    checks:
+        Named boolean shape checks ("distill beats async at every n",
+        "ratio within ...") — what the tests assert and EXPERIMENTS.md
+        reports as pass/fail.
+    notes:
+        Free-form commentary (fit parameters, crossovers found).
+    """
+
+    experiment_id: str
+    title: str
+    claim: str
+    columns: Sequence[str]
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    checks: Dict[str, bool] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+    formats: Optional[Mapping[str, str]] = None
+
+    def table(self) -> Table:
+        table = Table(self.columns, formats=self.formats)
+        for row in self.rows:
+            table.add_row(**{k: v for k, v in row.items() if k in self.columns})
+        return table
+
+    def render(self) -> str:
+        """Full report: header, table, checks, notes."""
+        lines = [
+            f"== {self.experiment_id}: {self.title} ==",
+            f"paper claim: {self.claim}",
+            "",
+            self.table().render(),
+        ]
+        if self.checks:
+            lines.append("")
+            for name, ok in self.checks.items():
+                lines.append(f"  [{'PASS' if ok else 'FAIL'}] {name}")
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    @property
+    def all_checks_pass(self) -> bool:
+        return all(self.checks.values())

@@ -1,0 +1,1 @@
+"""One module per experiment, E1..E12 (see DESIGN.md's index)."""

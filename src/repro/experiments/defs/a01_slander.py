@@ -1,0 +1,107 @@
+"""A1 — "Is slander useless?" (Section 6, open problem 1).
+
+Needle worlds (m = n, one good object) make the question sharp: the
+slander-consuming reader prunes bad candidates when reports are honest,
+but a smear campaign against the single good object can deny it to any
+reader that believes ``t`` corroborating reports whenever the adversary
+controls ``t`` players. Four cells: {plain DISTILL, slandering DISTILL} ×
+{honest world, smear campaign}.
+
+The measured answer: slander buys little when honest (the one-sided
+algorithm is already near its floor) and is catastrophic under attack —
+the slander-trusting reader fails to terminate within a >100x round
+budget while plain DISTILL is untouched. One-sidedness is load-bearing.
+"""
+
+from __future__ import annotations
+
+from repro.adversaries.silent import SilentAdversary
+from repro.core.distill import DistillStrategy
+from repro.experiments.common import measure, planted_factory
+from repro.experiments.config import ExperimentResult, Scale
+from repro.extensions.slander import SlanderAdversary, SlanderingDistill
+from repro.sim.engine import EngineConfig
+
+
+def run(scale: Scale = Scale.FULL, seed: int = 0) -> ExperimentResult:
+    if scale is Scale.FULL:
+        n = 512
+        trials = 16
+    else:
+        n = 128
+        trials = 6
+    alpha = 0.6
+    beta = 1.0 / n
+    threshold = 3
+    budget_cap = 16 * n  # generous: >100x the unmolested cost
+
+    cells = [
+        ("distill", "honest", DistillStrategy, SilentAdversary),
+        ("distill-slander", "honest",
+         lambda: SlanderingDistill(threshold), SilentAdversary),
+        ("distill", "smear", DistillStrategy, SlanderAdversary),
+        ("distill-slander", "smear",
+         lambda: SlanderingDistill(threshold), SlanderAdversary),
+    ]
+    rows = []
+    outcomes = {}
+    for reader, world, strategy_factory, adversary_factory in cells:
+        res = measure(
+            planted_factory(n, n, beta, alpha),
+            strategy_factory,
+            make_adversary=adversary_factory,
+            trials=trials,
+            seed=(seed, len(reader), len(world)),
+            config=EngineConfig(
+                record_reports=True, max_rounds=budget_cap, strict=False
+            ),
+        )
+        key = (reader, world)
+        outcomes[key] = res
+        rows.append(
+            {
+                "reader": reader,
+                "world": world,
+                "rounds": res.mean("mean_individual_rounds"),
+                "success": res.success_rate(),
+                "satisfied_frac": res.mean("satisfied_fraction"),
+            }
+        )
+
+    checks = {
+        "plain DISTILL ignores the smear campaign entirely": (
+            outcomes[("distill", "smear")].mean("mean_individual_rounds")
+            <= 1.5
+            * outcomes[("distill", "honest")].mean("mean_individual_rounds")
+            and outcomes[("distill", "smear")].success_rate() == 1.0
+        ),
+        "slander-trusting reader is suppressed by the smear": (
+            outcomes[("distill-slander", "smear")].mean("satisfied_fraction")
+            < 0.5
+        ),
+        "slander buys <2x in honest worlds (one-sidedness is cheap)": (
+            outcomes[("distill", "honest")].mean("mean_individual_rounds")
+            <= 2.0
+            * outcomes[("distill-slander", "honest")].mean(
+                "mean_individual_rounds"
+            )
+        ),
+    }
+
+    return ExperimentResult(
+        experiment_id="A1",
+        title='"Is slander useless?" (Section 6 ablation)',
+        claim=(
+            "Open problem: can negative recommendations close the gap? "
+            "Measured: believing corroborated slander is catastrophic "
+            "under a smear campaign and buys little when honest."
+        ),
+        columns=["reader", "world", "rounds", "success", "satisfied_frac"],
+        rows=rows,
+        checks=checks,
+        formats={
+            "rounds": ".1f",
+            "success": ".2f",
+            "satisfied_frac": ".3f",
+        },
+    )

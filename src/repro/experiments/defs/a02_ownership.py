@@ -1,0 +1,101 @@
+"""A2 — objects associated with players (Section 6, open problem 2).
+
+The coupled world: m = n, object i owned by player i, dishonest objects
+bad, honest objects good with probability ``p_good`` — so ``β = α·p_good``
+is no longer free. Dishonest players self-promote (vote for their own
+objects). Sweep α and p_good; compare the measured cost against the
+decoupled Theorem 4 curve evaluated at the induced β.
+
+Measured answer: DISTILL transfers to the coupled world unchanged — the
+self-promotion pattern is just a flood the one-vote budget absorbs, and
+the cost tracks the induced-β curve. Coupling changes the *parameters*,
+not the algorithm.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.bounds import thm4_expected_rounds
+from repro.core.distill import DistillStrategy
+from repro.experiments.common import measure
+from repro.experiments.config import ExperimentResult, Scale
+from repro.extensions.ownership import (
+    SelfPromotionAdversary,
+    ownership_instance,
+)
+
+
+def run(scale: Scale = Scale.FULL, seed: int = 0) -> ExperimentResult:
+    if scale is Scale.FULL:
+        n = 512
+        combos = [
+            (0.9, 0.5),
+            (0.6, 0.5),
+            (0.3, 0.5),
+            (0.6, 0.125),
+            (0.6, 1.0),
+        ]
+        trials = 16
+    else:
+        n = 128
+        combos = [(0.6, 0.5)]
+        trials = 6
+
+    rows = []
+    checks = {}
+    for alpha, p_good in combos:
+        res = measure(
+            lambda rng, a=alpha, p=p_good: ownership_instance(n, a, p, rng),
+            DistillStrategy,
+            make_adversary=SelfPromotionAdversary,
+            trials=trials,
+            seed=(seed, int(alpha * 100), int(p_good * 1000)),
+        )
+        induced_beta = alpha * p_good
+        bound = thm4_expected_rounds(n, alpha, induced_beta)
+        rounds = res.mean("mean_individual_rounds")
+        rows.append(
+            {
+                "alpha": alpha,
+                "p_good": p_good,
+                "induced_beta": induced_beta,
+                "rounds": rounds,
+                "thm4_at_induced_beta": bound,
+                "rounds/bound": rounds / bound,
+                "success": res.success_rate(),
+            }
+        )
+        checks[f"alpha={alpha} p_good={p_good}: all honest succeed"] = (
+            res.success_rate() == 1.0
+        )
+        checks[
+            f"alpha={alpha} p_good={p_good}: cost within 4x the "
+            "induced-beta Theorem 4 curve"
+        ] = rounds <= 4.0 * bound + 2
+
+    return ExperimentResult(
+        experiment_id="A2",
+        title="Coupled objects and players (Section 6 ablation)",
+        claim=(
+            "Open problem: effect of associating each object with a "
+            "player. Measured: self-promotion is an ordinary flood; the "
+            "cost follows Theorem 4 at the induced beta = alpha*p_good."
+        ),
+        columns=[
+            "alpha",
+            "p_good",
+            "induced_beta",
+            "rounds",
+            "thm4_at_induced_beta",
+            "rounds/bound",
+            "success",
+        ],
+        rows=rows,
+        checks=checks,
+        formats={
+            "induced_beta": ".3f",
+            "rounds": ".2f",
+            "thm4_at_induced_beta": ".2f",
+            "rounds/bound": ".2f",
+            "success": ".2f",
+        },
+    )

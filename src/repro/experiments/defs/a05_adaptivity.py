@@ -1,0 +1,95 @@
+"""A5 — what does adversary adaptivity buy? (Section 2.3 ablation)
+
+The model grants DISTILL's adversary full adaptivity (it may react to
+every realized coin flip), while the paper's lower bounds deliberately
+use "a much more benign model" — Theorem 2's adversary is oblivious.
+This ablation measures the gap: the adaptive split-vote adversary vs an
+oblivious twin that commits the same playbook before the run, vs the
+silent control, across honesty levels.
+
+Measured answer (a negative result worth recording): at engine scales
+the adaptivity premium is *below measurement resolution* — runs end
+during Step 1.3, whose phase schedule is deterministic, so the adaptive
+and oblivious schedules coincide; adaptivity could only pay off in the
+iteration phase and ATTEMPT restarts, which the honest advice cascade
+almost never lets happen (see E5). This is consistent with the theory:
+the upper bound tolerates adaptivity, the lower bounds never needed it.
+"""
+
+from __future__ import annotations
+
+from repro.adversaries.oblivious import ObliviousSplitVoteAdversary
+from repro.adversaries.silent import SilentAdversary
+from repro.adversaries.split_vote import SplitVoteAdversary
+from repro.core.distill import DistillStrategy
+from repro.experiments.common import measure, planted_factory
+from repro.experiments.config import ExperimentResult, Scale
+
+
+def run(scale: Scale = Scale.FULL, seed: int = 0) -> ExperimentResult:
+    if scale is Scale.FULL:
+        n = 512
+        alphas = [0.7, 0.4, 0.15]
+        trials = 24
+    else:
+        n = 128
+        alphas = [0.4]
+        trials = 6
+
+    rows = []
+    checks = {}
+    for alpha in alphas:
+        beta = 1.0 / n
+        cells = {}
+        for name, factory in (
+            ("silent", SilentAdversary),
+            ("oblivious-split-vote", ObliviousSplitVoteAdversary),
+            ("adaptive-split-vote", SplitVoteAdversary),
+        ):
+            # one seed per alpha, shared by all three cells: identical
+            # worlds and honest coins, so the comparison is paired and
+            # the adversary is the only varying factor
+            res = measure(
+                planted_factory(n, n, beta, alpha),
+                DistillStrategy,
+                make_adversary=factory,
+                trials=trials,
+                seed=(seed, int(alpha * 100)),
+            )
+            cells[name] = res.mean("mean_individual_rounds")
+            rows.append(
+                {
+                    "alpha": alpha,
+                    "adversary": name,
+                    "rounds": cells[name],
+                    "success": res.success_rate(),
+                }
+            )
+        checks[f"alpha={alpha}: attacks cost more than silence"] = (
+            cells["adaptive-split-vote"] > cells["silent"]
+            and cells["oblivious-split-vote"] > cells["silent"]
+        )
+        checks[
+            f"alpha={alpha}: adaptivity premium below 25% "
+            "(negative result, see module doc)"
+        ] = (
+            cells["adaptive-split-vote"]
+            <= 1.25 * cells["oblivious-split-vote"]
+            and cells["oblivious-split-vote"]
+            <= 1.25 * cells["adaptive-split-vote"]
+        )
+
+    return ExperimentResult(
+        experiment_id="A5",
+        title="Oblivious vs adaptive adversaries (Section 2.3 ablation)",
+        claim=(
+            "DISTILL is proved against adaptive adversaries; the lower "
+            "bounds use oblivious ones. Measured: at engine scale the "
+            "adaptive premium is nil — Step 1 dominates and its schedule "
+            "is deterministic, so both adversaries play the same game."
+        ),
+        columns=["alpha", "adversary", "rounds", "success"],
+        rows=rows,
+        checks=checks,
+        formats={"rounds": ".2f", "success": ".2f"},
+    )

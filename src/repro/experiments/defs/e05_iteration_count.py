@@ -1,0 +1,148 @@
+"""E5 — Lemma 7: the while loop runs O(log n / Δ) iterations.
+
+Lemma 7 is the paper's technical core: the distillation loop is
+*sub-logarithmic* — ``O(log n/Δ)`` with ``Δ = log(1/(1-α) + log n)`` —
+against any vote-splitting schedule. Two measurements:
+
+1. **Worst-case kernel** (:mod:`repro.analysis.lemma7_kernel`): the
+   adversary's optimal budget-splitting game played directly on the
+   Step 2.2 arithmetic, scaled to n = 2^28 where the asymptotics are
+   visible. We fit scale factors to the competing hypotheses ``log n``
+   and ``log n/Δ`` and compare fit quality.
+2. **Engine runs** against the adaptive split-vote adversary, reported
+   for honesty: at simulable n (≤ 8192) the Lemma 6 advice cascade ends
+   runs during Step 1.3, so full-run iteration counts sit at 0-2 — far
+   *below* the bound, consistent with it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.adversaries.split_vote import SplitVoteAdversary
+from repro.analysis.bounds import delta, lemma7_iteration_bound, log2n
+from repro.analysis.fitting import fit_scale_factor, r_squared
+from repro.analysis.lemma7_kernel import worst_case_iterations
+from repro.core.distill import DistillStrategy
+from repro.experiments.common import measure, planted_factory
+from repro.experiments.config import ExperimentResult, Scale
+
+
+def run(scale: Scale = Scale.FULL, seed: int = 0) -> ExperimentResult:
+    if scale is Scale.FULL:
+        kernel_exps = [8, 12, 16, 20, 24, 28]
+        alphas = [0.5, 0.2, 0.05]
+        engine_ns = [512, 2048, 8192]
+        trials = 16
+    else:
+        kernel_exps = [8, 12, 16]
+        alphas = [0.2]
+        engine_ns = [256]
+        trials = 4
+    beta = 1 / 16
+
+    rows = []
+    checks = {}
+    notes = []
+    for alpha in alphas:
+        iters, sublog, logn = [], [], []
+        for e in kernel_exps:
+            n = 2 ** e
+            trace = worst_case_iterations(n, alpha)
+            iters.append(float(trace.iterations))
+            sublog.append(lemma7_iteration_bound(n, alpha))
+            logn.append(log2n(n))
+            rows.append(
+                {
+                    "source": "kernel",
+                    "alpha": alpha,
+                    "n": n,
+                    "iterations": trace.iterations,
+                    "log2n": log2n(n),
+                    "delta": delta(alpha, n),
+                    "bound_logn/delta": lemma7_iteration_bound(n, alpha),
+                }
+            )
+        c_sub = fit_scale_factor(iters, sublog)
+        c_log = fit_scale_factor(iters, logn)
+        r2_sub = r_squared(np.array(iters), c_sub * np.array(sublog))
+        r2_log = r_squared(np.array(iters), c_log * np.array(logn))
+        notes.append(
+            f"kernel alpha={alpha}: c*logn/delta fit c={c_sub:.2f} "
+            f"R2={r2_sub:.3f}; c*logn fit c={c_log:.2f} R2={r2_log:.3f}"
+        )
+        checks[f"alpha={alpha}: kernel iterations <= 2.5x logn/delta"] = all(
+            it <= 2.5 * b for it, b in zip(iters, sublog)
+        )
+        if len(kernel_exps) >= 4:
+            # With few points both hypotheses fit anything; require the
+            # full sweep before comparing them.
+            checks[
+                f"alpha={alpha}: logn/delta fits at least as well as logn"
+            ] = r2_sub >= r2_log - 0.02
+            # Sub-logarithmic growth: iterations grow strictly slower
+            # than log n over the sweep.
+            checks[f"alpha={alpha}: growth slower than log n"] = (
+                iters[-1] / iters[0] < 0.9 * logn[-1] / logn[0]
+            )
+
+    for n in engine_ns:
+        alpha = min(alphas)
+        res = measure(
+            planted_factory(n, n, beta, alpha),
+            DistillStrategy,
+            make_adversary=lambda: SplitVoteAdversary(
+                step11_fraction=0.2, step13_fraction=0.3
+            ),
+            trials=trials,
+            seed=(seed, n),
+        )
+        mean_iters = float(
+            np.mean(
+                [
+                    info["max_iterations_per_attempt"]
+                    for info in res.strategy_infos
+                ]
+            )
+        )
+        rows.append(
+            {
+                "source": "engine",
+                "alpha": alpha,
+                "n": n,
+                "iterations": mean_iters,
+                "log2n": log2n(n),
+                "delta": delta(alpha, n),
+                "bound_logn/delta": lemma7_iteration_bound(n, alpha),
+            }
+        )
+        checks[f"engine n={n}: measured iterations within the bound"] = (
+            mean_iters <= 2.5 * lemma7_iteration_bound(n, alpha)
+        )
+
+    return ExperimentResult(
+        experiment_id="E5",
+        title="Distillation loop length (Lemma 7)",
+        claim=(
+            "Each invocation of ATTEMPT runs O(log n / Delta) while-loop "
+            "iterations, Delta = log(1/(1-alpha) + log n) — sub-logarithmic."
+        ),
+        columns=[
+            "source",
+            "alpha",
+            "n",
+            "iterations",
+            "log2n",
+            "delta",
+            "bound_logn/delta",
+        ],
+        rows=rows,
+        checks=checks,
+        notes=notes,
+        formats={
+            "iterations": ".2f",
+            "log2n": ".1f",
+            "delta": ".2f",
+            "bound_logn/delta": ".2f",
+        },
+    )

@@ -1,0 +1,121 @@
+"""E8 — Theorem 12: multiple costs via cost classes.
+
+Worlds with seven cost classes (costs 1, 2, ..., 64); the cheapest good
+object sits in class i0, so ``q0 = 2^i0``. The Theorem 12 algorithm
+(DISTILL^HP per class, cheap classes first) should pay per player
+``O(q0 · m log n/(αn))`` — in particular, payment should scale roughly
+*linearly with q0* and never blow up to the naive ``Σ cost`` of probing
+expensive classes first.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.adversaries.flood import FloodAdversary
+from repro.analysis.fitting import fit_power_law
+from repro.core.multicost import run_multicost
+from repro.experiments.config import ExperimentResult, Scale
+from repro.rng import RngFactory
+from repro.world.generators import cost_class_instance
+
+
+def run(scale: Scale = Scale.FULL, seed: int = 0) -> ExperimentResult:
+    if scale is Scale.FULL:
+        n = 512
+        class_sizes = [64] * 7
+        good_classes = [0, 2, 4, 6]
+        trials = 12
+    else:
+        n = 128
+        class_sizes = [32] * 4
+        good_classes = [0, 2]
+        trials = 4
+    alpha = 0.8
+
+    rows = []
+    checks = {}
+    q0s, payments = [], []
+    for i0 in good_classes:
+        root = RngFactory.from_seed((seed, i0))
+        per_trial = []
+        bound = None
+        for trial in root.trial_factories(trials):
+            world_rng = trial.spawn_generator()
+            honest_rng = trial.spawn_generator()
+            adv_rng = trial.spawn_generator()
+            instance = cost_class_instance(
+                n=n,
+                class_sizes=class_sizes,
+                good_class=i0,
+                alpha=alpha,
+                rng=world_rng,
+            )
+            out = run_multicost(
+                instance,
+                rng=honest_rng,
+                adversary=FloodAdversary(),
+                adversary_rng=adv_rng,
+            )
+            per_trial.append(out.mean_payment)
+            bound = out.bound_payment
+        payment = float(np.mean(per_trial))
+        q0 = 2.0 ** i0
+        q0s.append(q0)
+        payments.append(payment)
+        rows.append(
+            {
+                "q0": q0,
+                "good_class": i0,
+                "m": sum(class_sizes),
+                "n": n,
+                "mean_payment": payment,
+                "thm12_bound": bound,
+                "payment/bound": payment / bound,
+            }
+        )
+        # The bound's hidden constant is ours to fit: our per-class stage
+        # budget is ~k3/2 full ATTEMPT invocations, i.e. a few multiples
+        # of the proof's per-class schedule, so 4x headroom on the curve.
+        checks[f"q0={q0:g}: payment within 4x the Theorem 12 curve"] = (
+            payment <= 4.0 * bound
+        )
+
+    notes = []
+    if len(q0s) >= 3:
+        # With only two q0 points the early-find offset of the cheapest
+        # class dominates the fit; require a real sweep.
+        fit = fit_power_law(q0s, payments)
+        notes.append(
+            f"payment ~ q0^{fit.exponent:.2f} (R2={fit.r2:.3f}); "
+            "Theorem 12 predicts exponent ~ 1"
+        )
+        checks["payment grows ~linearly in q0 (exponent in [0.5, 1.4])"] = (
+            0.5 <= fit.exponent <= 1.4
+        )
+
+    return ExperimentResult(
+        experiment_id="E8",
+        title="General cost model via cost classes (Theorem 12)",
+        claim=(
+            "Each honest player finds a good object w.h.p. while paying "
+            "only O(q0 * m log n/(alpha*n)), q0 = cheapest good object."
+        ),
+        columns=[
+            "q0",
+            "good_class",
+            "m",
+            "n",
+            "mean_payment",
+            "thm12_bound",
+            "payment/bound",
+        ],
+        rows=rows,
+        checks=checks,
+        notes=notes,
+        formats={
+            "mean_payment": ".1f",
+            "thm12_bound": ".1f",
+            "payment/bound": ".2f",
+        },
+    )

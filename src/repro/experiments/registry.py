@@ -1,0 +1,83 @@
+"""The experiment registry: id → (title, runner).
+
+Ids follow DESIGN.md's per-experiment index. Every runner takes a
+:class:`~repro.experiments.config.Scale` and a seed and returns an
+:class:`~repro.experiments.config.ExperimentResult`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple, Union
+
+from repro.errors import ConfigurationError
+from repro.experiments.config import ExperimentResult, Scale
+from repro.experiments.defs import (
+    a01_slander,
+    a02_ownership,
+    a03_pricing,
+    a04_advice_ablation,
+    a05_adaptivity,
+    a06_constants,
+    e01_lower_bound_work,
+    e02_lower_bound_symmetry,
+    e03_distill_vs_baselines,
+    e04_epsilon_constant,
+    e05_iteration_count,
+    e06_high_probability,
+    e07_alpha_doubling,
+    e08_multicost,
+    e09_no_local_testing,
+    e10_multivote,
+    e11_adversary_gauntlet,
+    e12_three_phase,
+    e13_async_model,
+    e14_total_cost,
+)
+
+Runner = Callable[[Scale, int], ExperimentResult]
+
+EXPERIMENTS: Dict[str, Tuple[str, Runner]] = {
+    "E1": ("Theorem 1 lower bound", e01_lower_bound_work.run),
+    "E2": ("Theorem 2 lower bound", e02_lower_bound_symmetry.run),
+    "E3": ("Theorem 4 headline comparison", e03_distill_vs_baselines.run),
+    "E4": ("Corollary 5 epsilon sweep", e04_epsilon_constant.run),
+    "E5": ("Lemma 7 iteration count", e05_iteration_count.run),
+    "E6": ("Theorem 11 high probability", e06_high_probability.run),
+    "E7": ("Section 5.1 guessing alpha", e07_alpha_doubling.run),
+    "E8": ("Theorem 12 multiple costs", e08_multicost.run),
+    "E9": ("Theorem 13 no local testing", e09_no_local_testing.run),
+    "E10": ("Section 4.1 multiple votes", e10_multivote.run),
+    "E11": ("Adversary gauntlet", e11_adversary_gauntlet.run),
+    "E12": ("Section 1.2 three-phase illustration", e12_three_phase.run),
+    "E13": ("Section 1.2 synchronous abstraction", e13_async_model.run),
+    "E14": ("Prior-work total cost (Section 1.1)", e14_total_cost.run),
+    "A1": ("Slander ablation (open problem 1)", a01_slander.run),
+    "A2": ("Ownership coupling (open problem 2)", a02_ownership.run),
+    "A3": ("Demand pricing (open problem 3)", a03_pricing.run),
+    "A4": ("Advice-mechanism ablation (Lemma 6)", a04_advice_ablation.run),
+    "A5": ("Adaptivity ablation (Section 2.3)", a05_adaptivity.run),
+    "A6": ("Constants sensitivity (Figure 1)", a06_constants.run),
+}
+
+
+def available_experiments() -> List[str]:
+    """Experiment ids in index order."""
+    return list(EXPERIMENTS)
+
+
+def run_experiment(
+    experiment_id: str,
+    scale: Union[Scale, str] = Scale.FULL,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Run one experiment by id ("E1".."E12")."""
+    if isinstance(scale, str):
+        scale = Scale(scale)
+    try:
+        _title, runner = EXPERIMENTS[experiment_id.upper()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown experiment {experiment_id!r}; "
+            f"known: {available_experiments()}"
+        ) from None
+    return runner(scale, seed)

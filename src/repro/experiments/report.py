@@ -1,0 +1,113 @@
+"""Serialization and report generation for experiment results.
+
+Two artifacts a reproduction should be able to emit on demand:
+
+* machine-readable results — :func:`result_to_dict` /
+  :func:`result_from_dict` round-trip an
+  :class:`~repro.experiments.config.ExperimentResult` through plain JSON
+  so runs can be archived and diffed;
+* a human-readable report — :func:`generate_report` runs any subset of
+  the registry and renders one markdown document (the automated sibling
+  of the hand-written EXPERIMENTS.md), exposed as ``repro report`` on
+  the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.errors import ConfigurationError
+from repro.experiments.config import ExperimentResult, Scale
+from repro.experiments.registry import available_experiments, run_experiment
+
+
+def result_to_dict(result: ExperimentResult) -> Dict[str, Any]:
+    """A JSON-safe dictionary capturing the whole result."""
+    return {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "claim": result.claim,
+        "columns": list(result.columns),
+        "rows": [dict(row) for row in result.rows],
+        "checks": dict(result.checks),
+        "notes": list(result.notes),
+        "formats": dict(result.formats) if result.formats else None,
+    }
+
+
+def result_from_dict(payload: Dict[str, Any]) -> ExperimentResult:
+    """Inverse of :func:`result_to_dict`."""
+    required = {"experiment_id", "title", "claim", "columns", "rows"}
+    missing = required - set(payload)
+    if missing:
+        raise ConfigurationError(
+            f"result payload missing keys {sorted(missing)}"
+        )
+    return ExperimentResult(
+        experiment_id=payload["experiment_id"],
+        title=payload["title"],
+        claim=payload["claim"],
+        columns=list(payload["columns"]),
+        rows=[dict(row) for row in payload["rows"]],
+        checks=dict(payload.get("checks") or {}),
+        notes=list(payload.get("notes") or []),
+        formats=payload.get("formats"),
+    )
+
+
+def result_to_json(result: ExperimentResult) -> str:
+    return json.dumps(result_to_dict(result), indent=2, sort_keys=True)
+
+
+def result_from_json(text: str) -> ExperimentResult:
+    return result_from_dict(json.loads(text))
+
+
+def _result_markdown(result: ExperimentResult) -> str:
+    lines = [
+        f"## {result.experiment_id} — {result.title}",
+        "",
+        f"**Paper claim.** {result.claim}",
+        "",
+        result.table().render_markdown(),
+        "",
+    ]
+    if result.checks:
+        lines.append("Checks:")
+        for name, ok in result.checks.items():
+            lines.append(f"- {'✅' if ok else '❌'} {name}")
+        lines.append("")
+    for note in result.notes:
+        lines.append(f"> {note}")
+    if result.notes:
+        lines.append("")
+    return "\n".join(lines)
+
+
+def generate_report(
+    experiment_ids: Optional[Sequence[str]] = None,
+    scale: Union[Scale, str] = Scale.SMOKE,
+    seed: int = 0,
+    results: Optional[List[ExperimentResult]] = None,
+) -> str:
+    """Run experiments and render one markdown report.
+
+    Pass pre-computed ``results`` to render without re-running (e.g.
+    results deserialized from JSON archives).
+    """
+    if results is None:
+        ids = list(experiment_ids or available_experiments())
+        results = [run_experiment(eid, scale, seed) for eid in ids]
+    scale_label = scale.value if isinstance(scale, Scale) else str(scale)
+    passed = sum(1 for r in results if r.all_checks_pass)
+    header = [
+        "# Reproduction report — Adaptive Collaboration in P2P Systems "
+        "(ICDCS 2005)",
+        "",
+        f"Scale: `{scale_label}`, seed {seed}. "
+        f"{passed}/{len(results)} experiments pass all shape checks.",
+        "",
+    ]
+    sections = [_result_markdown(result) for result in results]
+    return "\n".join(header + sections)

@@ -1,0 +1,129 @@
+"""ASCII rendering of experiment tables and figure series.
+
+The paper's "figures" are scaling curves; we render them as aligned
+tables (one row per x-value, one column per series) plus a crude log-scale
+bar chart for eyeballing shape in a terminal.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+
+class Table:
+    """An aligned ASCII table.
+
+    Parameters
+    ----------
+    columns:
+        Column names, in display order.
+    formats:
+        Optional per-column format specs (e.g. ``{"rounds": ".1f"}``);
+        unspecified columns use ``str`` for strings and ``.4g`` for
+        numbers.
+    """
+
+    def __init__(
+        self,
+        columns: Sequence[str],
+        formats: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        if not columns:
+            raise ConfigurationError("a table needs at least one column")
+        self.columns = list(columns)
+        self.formats = dict(formats or {})
+        self.rows: List[Dict[str, object]] = []
+
+    def add_row(self, **values: object) -> None:
+        unknown = set(values) - set(self.columns)
+        if unknown:
+            raise ConfigurationError(f"unknown columns {sorted(unknown)}")
+        self.rows.append(values)
+
+    def _cell(self, column: str, value: object) -> str:
+        if value is None:
+            return "-"
+        spec = self.formats.get(column)
+        if spec is not None and isinstance(value, (int, float)):
+            return format(value, spec)
+        if isinstance(value, float):
+            return format(value, ".4g")
+        return str(value)
+
+    def render_markdown(self) -> str:
+        """The table as GitHub-flavoured markdown."""
+        header = "| " + " | ".join(self.columns) + " |"
+        rule = "|" + "|".join("---" for _ in self.columns) + "|"
+        body = [
+            "| "
+            + " | ".join(self._cell(c, row.get(c)) for c in self.columns)
+            + " |"
+            for row in self.rows
+        ]
+        return "\n".join([header, rule, *body])
+
+    def render(self) -> str:
+        """The table as an aligned string (no trailing newline)."""
+        grid = [self.columns] + [
+            [self._cell(c, row.get(c)) for c in self.columns]
+            for row in self.rows
+        ]
+        widths = [
+            max(len(grid[r][c]) for r in range(len(grid)))
+            for c in range(len(self.columns))
+        ]
+        lines = []
+        for r, cells in enumerate(grid):
+            line = "  ".join(
+                cell.rjust(widths[c]) for c, cell in enumerate(cells)
+            )
+            lines.append(line)
+            if r == 0:
+                lines.append("  ".join("-" * w for w in widths))
+        return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    xs: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    width: int = 40,
+    log_scale: bool = True,
+) -> str:
+    """A terminal 'figure': per-series bars scaled to a common axis.
+
+    Useful for eyeballing who-wins and crossovers — the reproduction
+    targets — without a plotting stack.
+    """
+    all_values = [v for ys in series.values() for v in ys if v > 0]
+    if not all_values:
+        return "(no positive data)"
+    vmax = max(all_values)
+    vmin = min(all_values)
+
+    def bar(value: float) -> str:
+        if value <= 0:
+            return ""
+        if log_scale and vmax > vmin:
+            frac = (math.log(value) - math.log(vmin)) / (
+                math.log(vmax) - math.log(vmin)
+            )
+        elif vmax > 0:
+            frac = value / vmax
+        else:
+            frac = 0.0
+        return "#" * max(1, int(round(frac * width)))
+
+    name_width = max(len(name) for name in series)
+    lines = []
+    for i, x in enumerate(xs):
+        lines.append(f"{x_label}={x:g}")
+        for name, ys in series.items():
+            lines.append(
+                f"  {name.ljust(name_width)} "
+                f"{ys[i]:10.3f} |{bar(ys[i])}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,40 @@
+"""Explorations of the paper's open problems (Section 6).
+
+The conclusion poses four questions; this package builds measurable
+models for the first three (the fourth — a non-trivial notion of trust —
+is a research program, not a module):
+
+1. **"Is slander useless?"** — :mod:`repro.extensions.slander`: a DISTILL
+   variant whose candidate pools also consume *negative* reports, and the
+   smear-campaign adversary that punishes it (ablation A1).
+2. **Objects associated with players** —
+   :mod:`repro.extensions.ownership`: every object is owned by a player,
+   dishonest players own bad objects and self-promote (ablation A2).
+3. **Reputation feeding back into prices** —
+   :mod:`repro.extensions.pricing`: probe costs rise with an object's
+   vote count (demand pricing), so popularity itself becomes expensive
+   (ablation A3).
+
+Plus one pure design ablation of the paper's own machinery:
+
+4. **The advice mechanism** — :mod:`repro.extensions.no_advice`: DISTILL
+   with PROBE&SEEKADVICE's advice half removed, isolating what Lemma 6
+   buys (ablation A4).
+"""
+
+from repro.extensions.no_advice import NoAdviceDistill
+from repro.extensions.ownership import (
+    SelfPromotionAdversary,
+    ownership_instance,
+)
+from repro.extensions.pricing import PricedEngine
+from repro.extensions.slander import SlanderAdversary, SlanderingDistill
+
+__all__ = [
+    "NoAdviceDistill",
+    "PricedEngine",
+    "SelfPromotionAdversary",
+    "SlanderAdversary",
+    "SlanderingDistill",
+    "ownership_instance",
+]

@@ -1,0 +1,39 @@
+"""Ablating PROBE&SEEKADVICE's advice half.
+
+Lemma 6 is carried entirely by the rule that "at every second step, each
+player makes a probe that follows a recommendation of a randomly chosen
+player": once ``αn/2`` honest players are satisfied, everyone else
+finishes in ``4/α`` expected extra rounds by copying.
+
+:class:`NoAdviceDistill` removes exactly that: both rounds of every
+invocation explore the current pool uniformly. The phase structure,
+thresholds, and vote rules are untouched, so ablation A4 isolates the
+advice mechanism's contribution — most visible in the *tail*
+(``max_individual_rounds``): without advice, stragglers must personally
+probe the good object out of whatever pool they are in, instead of being
+pulled in by the crowd.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.billboard.views import BillboardView
+from repro.core.distill import DistillStrategy
+
+
+class NoAdviceDistill(DistillStrategy):
+    """DISTILL with exploration in place of every advice round."""
+
+    name = "distill-no-advice"
+
+    def choose_probes(
+        self,
+        round_no: int,
+        active_players: np.ndarray,
+        view: BillboardView,
+    ) -> np.ndarray:
+        self.tracker.advance(round_no, view)
+        return self.alternator.explore(
+            self.tracker.pool, active_players.size, self.rng
+        )

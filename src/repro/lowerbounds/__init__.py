@@ -1,0 +1,32 @@
+"""Lower-bound constructions (Section 3).
+
+* :mod:`~repro.lowerbounds.urn` — Theorem 1: the collective-work bound
+  ``Ω(1/(αβn))`` via the urn-without-replacement argument.
+* :mod:`~repro.lowerbounds.partition` — Theorem 2: the symmetry bound
+  ``Ω(min(1/α, 1/β))`` via the partition distribution ``{I_k}`` in which
+  dishonest players follow the protocol over spoofed values.
+
+Both proofs use Yao's Minimax Lemma: a randomized algorithm's worst-case
+expectation is at least any input distribution's average over deterministic
+algorithms. Empirically we evaluate the implemented (randomized)
+algorithms directly on the hard distributions — the same expectation the
+lemma bounds.
+"""
+
+from repro.lowerbounds.urn import (
+    expected_draws_until_good,
+    simulate_urn_rounds,
+    thm1_individual_lower_bound,
+)
+from repro.lowerbounds.partition import (
+    PartitionConstruction,
+    evaluate_partition_bound,
+)
+
+__all__ = [
+    "PartitionConstruction",
+    "evaluate_partition_bound",
+    "expected_draws_until_good",
+    "simulate_urn_rounds",
+    "thm1_individual_lower_bound",
+]

@@ -1,0 +1,159 @@
+"""Theorem 2: the symmetry lower bound ``Ω(min(1/α, 1/β))``.
+
+The hard distribution. Besides the distinguished honest player 0, the
+other ``n`` players are split into ``1/α`` groups ``P_1..P_{1/α}`` of size
+``αn``, and the ``m`` objects into ``1/β`` classes ``O_1..O_{1/β}`` of
+size ``βm``. Player ``j ∈ P_k`` always *reports* value 1 exactly on
+``O_k`` — independent of the instance. Instance ``I_k`` (for
+``k = 1..B``, ``B = min(1/α, 1/β)``) makes ``O_k`` the truly good class,
+so in ``I_k`` the players of ``P_k`` happen to be honest and everyone else
+is a protocol-following liar. Groups beyond ``B`` never report.
+
+Every instance looks *identical* to player 0 until it probes an object of
+the (unknown) distinguished class: B candidate classes, all sworn to by
+equally sized, equally behaved cliques. Whatever order player 0 visits
+classes in, the uniformly random ``k`` makes the expected visit index at
+least ``B/2`` — no billboard cleverness can beat it.
+
+:func:`evaluate_partition_bound` runs any implemented strategy over the
+distribution and reports player 0's expected probes next to the ``B/2``
+floor.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.adversaries.spoofed import SpoofedProtocolAdversary
+from repro.errors import ConfigurationError
+from repro.rng import RngFactory, SeedLike
+from repro.sim.engine import EngineConfig, SynchronousEngine
+from repro.strategies.base import Strategy
+from repro.world.instance import Instance
+from repro.world.objects import ObjectSpace
+
+
+@dataclass
+class PartitionConstruction:
+    """The Theorem 2 world family for one (n, m, α, β).
+
+    ``n`` counts the players *besides* player 0, as in the proof's
+    "n+1 players of which αn+1 are honest" convention.
+    """
+
+    n: int
+    m: int
+    alpha: float
+    beta: float
+
+    def __post_init__(self) -> None:
+        self.group_size = int(round(self.alpha * self.n))
+        self.class_size = int(round(self.beta * self.m))
+        if self.group_size < 1 or self.class_size < 1:
+            raise ConfigurationError(
+                "alpha*n and beta*m must be >= 1 for the construction"
+            )
+        self.n_groups = self.n // self.group_size
+        self.n_classes = self.m // self.class_size
+        if self.n_groups < 1 or self.n_classes < 1:
+            raise ConfigurationError("need at least one group and one class")
+        #: the bound parameter B = min(1/alpha, 1/beta)
+        self.B = min(self.n_groups, self.n_classes)
+
+    # ------------------------------------------------------------------
+    def group_members(self, k: int) -> np.ndarray:
+        """Players of ``P_k`` (1-based ``k``), as ids in ``1..n``."""
+        if not 1 <= k <= self.n_groups:
+            raise ConfigurationError(f"group index {k} outside 1..{self.n_groups}")
+        start = 1 + (k - 1) * self.group_size
+        return np.arange(start, start + self.group_size, dtype=np.int64)
+
+    def class_members(self, k: int) -> np.ndarray:
+        """Objects of ``O_k`` (1-based ``k``)."""
+        if not 1 <= k <= self.n_classes:
+            raise ConfigurationError(f"class index {k} outside 1..{self.n_classes}")
+        start = (k - 1) * self.class_size
+        return np.arange(start, start + self.class_size, dtype=np.int64)
+
+    def spoof_tables(self) -> Dict[int, np.ndarray]:
+        """Instance-independent report tables: ``P_k`` swears by ``O_k``.
+
+        Only groups ``1..B`` report (the proof silences the rest).
+        """
+        tables: Dict[int, np.ndarray] = {}
+        for k in range(1, self.B + 1):
+            table = np.zeros(self.m, dtype=np.float64)
+            table[self.class_members(k)] = 1.0
+            for player in self.group_members(k):
+                tables[int(player)] = table
+        return tables
+
+    def build_instance(self, k: int) -> Instance:
+        """Instance ``I_k``: class ``O_k`` is truly good, ``P_k`` honest."""
+        if not 1 <= k <= self.B:
+            raise ConfigurationError(f"instance index {k} outside 1..{self.B}")
+        values = np.zeros(self.m, dtype=np.float64)
+        values[self.class_members(k)] = 1.0
+        good = values >= 0.5
+        space = ObjectSpace(
+            values, np.ones(self.m), good, good_threshold=0.5
+        )
+        honest = np.zeros(self.n + 1, dtype=bool)
+        honest[0] = True
+        honest[self.group_members(k)] = True
+        return Instance(space, honest)
+
+
+def evaluate_partition_bound(
+    strategy_factory: Callable[[], Strategy],
+    construction: PartitionConstruction,
+    trials: int = 32,
+    seed: SeedLike = 0,
+    max_rounds: int = 100_000,
+) -> Dict[str, float]:
+    """Expected probes of player 0 for a strategy on the hard distribution.
+
+    Each trial draws ``k`` uniformly from ``1..B``, runs the strategy on
+    ``I_k`` with the protocol-mimicking cliques, and records player 0's
+    probe count. Returns the mean, the ``B/2`` floor, and their ratio.
+    """
+    root = RngFactory.from_seed(seed)
+    tables = construction.spoof_tables()
+    probes: List[int] = []
+    for trial_factory in root.trial_factories(trials):
+        world_rng = trial_factory.spawn_generator()
+        honest_rng = trial_factory.spawn_generator()
+        adversary_rng = trial_factory.spawn_generator()
+        k = int(world_rng.integers(1, construction.B + 1))
+        instance = construction.build_instance(k)
+        adversary = SpoofedProtocolAdversary(
+            strategy_factory=strategy_factory,
+            spoof_tables={
+                p: t
+                for p, t in tables.items()
+                if not instance.honest_mask[p]
+            },
+        )
+        engine = SynchronousEngine(
+            instance,
+            strategy_factory(),
+            adversary=adversary,
+            rng=honest_rng,
+            adversary_rng=adversary_rng,
+            config=EngineConfig(max_rounds=max_rounds, strict=True),
+        )
+        metrics = engine.run()
+        probes.append(int(metrics.probes[0]))
+    mean = float(np.mean(probes))
+    floor = construction.B / 2.0
+    return {
+        "B": float(construction.B),
+        "bound_floor": floor,
+        "mean_probes_player0": mean,
+        "ratio_to_floor": mean / floor if floor > 0 else math.inf,
+        "trials": float(trials),
+    }

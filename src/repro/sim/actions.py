@@ -1,0 +1,37 @@
+"""Adversary actions.
+
+Honest players act through their cohort :class:`~repro.strategies.base.Strategy`
+(arrays of probe choices); the Byzantine adversary acts through explicit
+:class:`VoteAction` records, which the engine validates — an adversary may
+only post under identities it controls. Probes by dishonest players are not
+mediated by the engine at all: they cost the adversary nothing we measure,
+and the Byzantine model lets dishonest players "know" whatever the
+adversary scripts, so only their *posts* can influence honest players.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.billboard.post import PostKind
+
+
+@dataclass(frozen=True)
+class VoteAction:
+    """A dishonest post: ``player`` posts about ``object_id``.
+
+    ``claimed_value`` is what the post reports as the observed value; it
+    only matters in worlds where readers inspect reported values (the
+    no-local-testing model), and defaults to 1.0 ("looks good").
+
+    ``kind`` defaults to a positive vote. Slander — a negative REPORT
+    post ("that object is bad") — is expressible too; Algorithm DISTILL
+    ignores it ("our algorithm uses only positive recommendations"), but
+    the Section 6 open-problem extensions
+    (:mod:`repro.extensions.slander`) study readers that do not.
+    """
+
+    player: int
+    object_id: int
+    claimed_value: float = 1.0
+    kind: PostKind = field(default=PostKind.VOTE)

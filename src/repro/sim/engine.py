@@ -1,0 +1,310 @@
+"""The synchronous round engine.
+
+One round of the paper's execution model (Section 2.1), as the engine runs
+it:
+
+1. every active honest player reads the billboard *as of the end of the
+   previous round* (a :class:`BillboardView` with horizon ``round_no``),
+2. the honest cohort strategy picks one probe per active player (coin
+   flips happen here),
+3. probes are executed: each prober pays the object's cost and observes a
+   value through the instance's :class:`~repro.world.valuemodel.ValueModel`,
+4. the strategy decides which probes become votes and which players halt;
+   votes are posted (negative reports are posted only when
+   ``record_reports`` is on — they influence nothing, see
+   :class:`~repro.billboard.post.PostKind`),
+5. the adversary observes the *complete* board — including this round's
+   honest posts and therefore all realized coin flips, the adaptive model
+   of Section 2.3 — and casts dishonest votes, validated against its
+   identity set.
+
+The engine stops when every honest player is satisfied (has probed a
+ground-truth good object), when the strategy declares itself finished
+(prescribed-length runs, Section 5.3), or — as a safety net — when
+``max_rounds`` elapses, which raises
+:class:`~repro.errors.BudgetExceededError` unless ``strict`` is off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.billboard.board import Billboard
+from repro.billboard.post import PostKind
+from repro.billboard.views import BillboardView
+from repro.billboard.votes import VoteMode
+from repro.errors import (
+    AdversaryViolationError,
+    BudgetExceededError,
+    SimulationError,
+)
+from repro.sim.metrics import RunMetrics
+from repro.strategies.base import Strategy, StrategyContext
+from repro.world.instance import Instance
+from repro.world.valuemodel import TrueValueModel, ValueModel
+
+if TYPE_CHECKING:  # imported lazily to avoid a package-level cycle
+    from repro.adversaries.base import Adversary
+
+
+@dataclass
+class EngineConfig:
+    """Engine knobs.
+
+    Attributes
+    ----------
+    max_rounds:
+        Safety round budget. DISTILL terminates with probability one, so a
+        run hitting this limit is a bug (``strict=True`` raises) or an
+        intentionally truncated measurement (``strict=False`` returns
+        what happened).
+    strict:
+        Whether exhausting ``max_rounds`` raises.
+    record_reports:
+        Whether negative probe reports are appended to the board. They are
+        protocol-inert (DISTILL uses positive reports only) but part of the
+        model's convention; enable for tracing/audits, disable (default)
+        for speed.
+    vote_mode:
+        Reader-side vote rule for the run's billboard.
+    max_votes_per_player:
+        The ``f`` of Section 4.1 (MULTI mode).
+    """
+
+    max_rounds: int = 1_000_000
+    strict: bool = True
+    record_reports: bool = False
+    vote_mode: VoteMode = VoteMode.SINGLE
+    max_votes_per_player: int = 1
+    #: record a structured event log (see :mod:`repro.sim.trace`)
+    trace: bool = False
+
+
+class SynchronousEngine:
+    """Runs one honest cohort strategy against one adversary.
+
+    Parameters
+    ----------
+    instance:
+        The world (objects + roles).
+    strategy:
+        Honest cohort protocol. Its :class:`StrategyContext` is built from
+        the instance unless ``ctx`` overrides it (e.g. to feed DISTILL a
+        wrong hardwired ``α`` on purpose, as Section 5.1's wrapper does).
+    adversary:
+        Byzantine controller of the dishonest players; ``None`` means the
+        dishonest players stay silent.
+    value_model:
+        Observation model for honest probes; defaults to ground truth.
+    rng:
+        Generator for the honest cohort's coins. The adversary receives
+        its own generator via ``adversary_rng`` so that honest and
+        adversarial randomness are independent streams.
+    """
+
+    def __init__(
+        self,
+        instance: Instance,
+        strategy: Strategy,
+        adversary: Optional["Adversary"] = None,
+        value_model: Optional[ValueModel] = None,
+        rng: Optional[np.random.Generator] = None,
+        adversary_rng: Optional[np.random.Generator] = None,
+        config: Optional[EngineConfig] = None,
+        ctx: Optional[StrategyContext] = None,
+    ) -> None:
+        self.instance = instance
+        self.strategy = strategy
+        self.adversary = adversary
+        self.config = config or EngineConfig()
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.adversary_rng = (
+            adversary_rng if adversary_rng is not None else np.random.default_rng()
+        )
+        self.value_model = value_model or TrueValueModel(instance.space)
+        self.ctx = ctx or StrategyContext(
+            n=instance.n,
+            m=instance.m,
+            alpha=instance.alpha,
+            beta=instance.beta,
+            good_threshold=instance.space.good_threshold,
+        )
+        self.board = Billboard(
+            instance.n,
+            instance.m,
+            vote_mode=self.config.vote_mode,
+            max_votes_per_player=self.config.max_votes_per_player,
+        )
+        self._dishonest_set = set(int(p) for p in instance.dishonest_ids)
+        #: populated when ``config.trace`` is on
+        self.trace = None
+        if self.config.trace:
+            from repro.sim.trace import Trace
+
+            self.trace = Trace()
+
+    # ------------------------------------------------------------------
+    def run(self) -> RunMetrics:
+        """Execute rounds until a stop condition; return the metrics."""
+        inst = self.instance
+        n = inst.n
+        good_mask = inst.space.good_mask
+        costs = inst.space.costs
+
+        probes = np.zeros(n, dtype=np.int64)
+        paid = np.zeros(n, dtype=np.float64)
+        satisfied_round = np.full(n, -1, dtype=np.int64)
+        halted_round = np.full(n, -1, dtype=np.int64)
+        active = inst.honest_mask.copy()  # honest players still probing
+
+        self.strategy.reset(self.ctx, self.rng)
+        if self.adversary is not None:
+            self.adversary.reset(inst, self.adversary_rng)
+
+        round_no = 0
+        while round_no < self.config.max_rounds:
+            if not active.any():
+                break
+            if self.strategy.finished(round_no):
+                break
+
+            active_ids = np.flatnonzero(active)
+            honest_view = BillboardView(self.board, before_round=round_no)
+            choices = self.strategy.choose_probes(
+                round_no, active_ids, honest_view
+            )
+            choices = np.asarray(choices, dtype=np.int64)
+            if choices.shape != active_ids.shape:
+                raise SimulationError(
+                    f"strategy {self.strategy.name!r} returned "
+                    f"{choices.shape} probes for {active_ids.shape} players"
+                )
+
+            probing = choices >= 0
+            probers = active_ids[probing]
+            targets = choices[probing]
+            if targets.size and (targets >= inst.m).any():
+                raise SimulationError(
+                    f"strategy {self.strategy.name!r} probed an unknown object"
+                )
+
+            if probers.size:
+                values = self.value_model.observe_many(probers, targets)
+                probes[probers] += 1
+                paid[probers] += self._probe_costs(round_no, targets, costs)
+                if self.trace is not None:
+                    self.trace.record(
+                        round_no,
+                        "probes",
+                        players=probers.tolist(),
+                        objects=targets.tolist(),
+                        values=values.tolist(),
+                    )
+
+                newly_good = good_mask[targets] & (satisfied_round[probers] < 0)
+                satisfied_round[probers[newly_good]] = round_no
+
+                vote_mask, halt_mask = self.strategy.handle_results(
+                    round_no, probers, targets, values
+                )
+                vote_mask = np.asarray(vote_mask, dtype=bool)
+                halt_mask = np.asarray(halt_mask, dtype=bool)
+
+                for idx in np.flatnonzero(vote_mask):
+                    self.board.append(
+                        round_no,
+                        int(probers[idx]),
+                        int(targets[idx]),
+                        float(values[idx]),
+                        PostKind.VOTE,
+                    )
+                    if self.trace is not None:
+                        self.trace.record(
+                            round_no,
+                            "vote",
+                            player=int(probers[idx]),
+                            object=int(targets[idx]),
+                        )
+                if self.config.record_reports:
+                    for idx in np.flatnonzero(~vote_mask):
+                        self.board.append(
+                            round_no,
+                            int(probers[idx]),
+                            int(targets[idx]),
+                            float(values[idx]),
+                            PostKind.REPORT,
+                        )
+
+                halters = probers[halt_mask]
+                active[halters] = False
+                halted_round[halters] = round_no
+                if self.trace is not None and halters.size:
+                    self.trace.record(
+                        round_no, "halt", players=halters.tolist()
+                    )
+
+            if self.adversary is not None:
+                self._adversary_turn(round_no)
+
+            round_no += 1
+        else:
+            if self.config.strict:
+                raise BudgetExceededError(
+                    f"run exceeded {self.config.max_rounds} rounds "
+                    f"(strategy={self.strategy.name!r})"
+                )
+
+        sat_honest = satisfied_round[inst.honest_mask] >= 0
+        return RunMetrics(
+            honest_mask=inst.honest_mask.copy(),
+            probes=probes,
+            paid=paid,
+            satisfied_round=satisfied_round,
+            halted_round=halted_round,
+            rounds=round_no,
+            all_honest_satisfied=bool(sat_honest.all()),
+            strategy_info=self.strategy.info(),
+        )
+
+    # ------------------------------------------------------------------
+    def _probe_costs(
+        self, round_no: int, targets: np.ndarray, base_costs: np.ndarray
+    ) -> np.ndarray:
+        """Cost charged for each probe this round.
+
+        The base engine charges the objects' static costs (the paper's
+        model); :class:`~repro.extensions.pricing.PricedEngine` overrides
+        this to let reputation feed back into prices (the Section 6 open
+        problem).
+        """
+        return base_costs[targets]
+
+    # ------------------------------------------------------------------
+    def _adversary_turn(self, round_no: int) -> None:
+        """Let the adversary post, validating identities."""
+        full_view = BillboardView(self.board, before_round=None)
+        actions = self.adversary.act(round_no, full_view)
+        for action in actions:
+            if int(action.player) not in self._dishonest_set:
+                raise AdversaryViolationError(
+                    f"adversary {self.adversary.name!r} tried to post as "
+                    f"player {action.player}, which it does not control"
+                )
+            self.board.append(
+                round_no,
+                int(action.player),
+                int(action.object_id),
+                float(action.claimed_value),
+                action.kind,
+            )
+            if self.trace is not None:
+                self.trace.record(
+                    round_no,
+                    "adversary",
+                    player=int(action.player),
+                    object=int(action.object_id),
+                    post_kind=action.kind.value,
+                )

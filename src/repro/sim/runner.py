@@ -1,0 +1,130 @@
+"""Monte-Carlo trial runner.
+
+Every experiment in the paper is a statement about *expectations* (or
+high-probability events) over the algorithm's coins. The runner executes
+many independent trials — fresh world, fresh coins, fresh adversary state —
+and aggregates the per-run summaries into arrays with confidence intervals.
+
+Factory-based design: the caller supplies callables that build the
+instance, strategy, and adversary for each trial, so that worlds can be
+resampled (expectations over the instance distribution, as in the Yao-style
+lower-bound experiments) or held fixed (expectations over coins only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.rng import RngFactory, SeedLike
+from repro.sim.engine import EngineConfig, SynchronousEngine
+from repro.sim.metrics import RunMetrics
+from repro.strategies.base import Strategy, StrategyContext
+from repro.world.instance import Instance
+
+if TYPE_CHECKING:  # type-only: avoids a package-level import cycle
+    from repro.adversaries.base import Adversary
+
+InstanceFactory = Callable[[np.random.Generator], Instance]
+StrategyFactory = Callable[[], Strategy]
+AdversaryFactory = Callable[[], Optional["Adversary"]]
+ContextFactory = Callable[[Instance], Optional[StrategyContext]]
+
+
+@dataclass
+class TrialResults:
+    """Aggregated outcomes of a batch of independent trials.
+
+    ``per_trial`` maps each summary key (see
+    :meth:`~repro.sim.metrics.RunMetrics.summary`) to an array of one value
+    per trial; ``metrics`` optionally keeps the full per-run records.
+    """
+
+    per_trial: Dict[str, np.ndarray]
+    metrics: List[RunMetrics] = field(default_factory=list)
+    strategy_infos: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def n_trials(self) -> int:
+        key = next(iter(self.per_trial))
+        return int(self.per_trial[key].shape[0])
+
+    def mean(self, key: str) -> float:
+        """Trial mean of one summary statistic."""
+        return float(self.per_trial[key].mean())
+
+    def std(self, key: str) -> float:
+        return float(self.per_trial[key].std(ddof=1)) if self.n_trials > 1 else 0.0
+
+    def sem(self, key: str) -> float:
+        """Standard error of the mean."""
+        return self.std(key) / np.sqrt(self.n_trials)
+
+    def ci95(self, key: str) -> float:
+        """Half-width of a normal-approximation 95% confidence interval."""
+        return 1.96 * self.sem(key)
+
+    def quantile(self, key: str, q: float) -> float:
+        return float(np.quantile(self.per_trial[key], q))
+
+    def success_rate(self) -> float:
+        """Fraction of trials in which all honest players succeeded."""
+        return self.mean("all_honest_satisfied")
+
+    def describe(self, key: str) -> str:
+        return f"{self.mean(key):.3f} ± {self.ci95(key):.3f} (95% CI)"
+
+
+def run_trials(
+    make_instance: InstanceFactory,
+    make_strategy: StrategyFactory,
+    make_adversary: AdversaryFactory = lambda: None,
+    n_trials: int = 32,
+    seed: SeedLike = 0,
+    config: Optional[EngineConfig] = None,
+    make_context: Optional[ContextFactory] = None,
+    keep_metrics: bool = False,
+) -> TrialResults:
+    """Run ``n_trials`` independent simulations and aggregate summaries.
+
+    Each trial draws four independent generator streams (world, honest
+    coins, adversary coins, spare) from a per-trial child of ``seed``, so
+    results are reproducible and trials are statistically independent.
+    """
+    root = RngFactory.from_seed(seed)
+    rows: List[Dict[str, float]] = []
+    kept: List[RunMetrics] = []
+    infos: List[Dict[str, Any]] = []
+    for trial_factory in root.trial_factories(n_trials):
+        world_rng = trial_factory.spawn_generator()
+        honest_rng = trial_factory.spawn_generator()
+        adversary_rng = trial_factory.spawn_generator()
+
+        instance = make_instance(world_rng)
+        strategy = make_strategy()
+        adversary = make_adversary()
+        ctx = make_context(instance) if make_context is not None else None
+
+        engine = SynchronousEngine(
+            instance,
+            strategy,
+            adversary=adversary,
+            rng=honest_rng,
+            adversary_rng=adversary_rng,
+            config=config,
+            ctx=ctx,
+        )
+        result = engine.run()
+        rows.append(result.summary())
+        infos.append(result.strategy_info)
+        if keep_metrics:
+            kept.append(result)
+
+    keys = rows[0].keys()
+    per_trial = {
+        key: np.array([row[key] for row in rows], dtype=np.float64)
+        for key in keys
+    }
+    return TrialResults(per_trial=per_trial, metrics=kept, strategy_infos=infos)

@@ -1,0 +1,166 @@
+"""Player schedules for the asynchronous execution model.
+
+The paper's prior work [1] uses an asynchronous model: "a basic step is a
+single player reading the billboard, probing an object, and updating the
+billboard; the player schedule is assumed to be under the control of the
+adversary". Section 1.2 then observes that *individual* cost cannot be
+bounded there — "a schedule that runs a single player by itself forces
+that player to find the good object on its own" — which is exactly why
+the paper moves to the synchronous model.
+
+This module provides the schedules used to reproduce both sides of that
+argument:
+
+* :class:`RoundRobinSchedule` — the fair schedule under which the paper
+  evaluates the prior algorithm ("considered under a synchronous
+  schedule, say round robin");
+* :class:`RandomSchedule` — uniformly random active player each step;
+* :class:`StarvationSchedule` — the adversarial schedule of the
+  Section 1.2 remark: one victim player is scheduled as rarely as a
+  fairness window permits (with window = ∞ it is fully starved and its
+  individual cost degenerates to solo search).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class Schedule:
+    """Chooses which active player takes the next asynchronous step."""
+
+    name = "schedule"
+
+    def reset(self, n_players: int, rng: np.random.Generator) -> None:
+        self.n_players = n_players
+        self.rng = rng
+
+    def next_player(self, step_no: int, active_ids: np.ndarray) -> int:
+        """Return the id of the player taking step ``step_no``.
+
+        ``active_ids`` is the sorted array of players still searching;
+        it is never empty (the engine stops first).
+        """
+        raise NotImplementedError
+
+
+class RoundRobinSchedule(Schedule):
+    """Cycle through the active players in id order.
+
+    Under this schedule, ``n`` consecutive steps emulate one synchronous
+    round — the reading of [1] the paper uses in Section 1.2.
+    """
+
+    name = "round-robin"
+
+    def reset(self, n_players: int, rng: np.random.Generator) -> None:
+        super().reset(n_players, rng)
+        self._cursor = 0
+
+    def next_player(self, step_no: int, active_ids: np.ndarray) -> int:
+        # find the next active player at or after the cursor, cyclically
+        idx = np.searchsorted(active_ids, self._cursor)
+        if idx == active_ids.size:
+            idx = 0
+        player = int(active_ids[idx])
+        self._cursor = player + 1
+        if self._cursor >= self.n_players:
+            self._cursor = 0
+        return player
+
+
+class RandomSchedule(Schedule):
+    """A uniformly random active player takes each step."""
+
+    name = "random"
+
+    def next_player(self, step_no: int, active_ids: np.ndarray) -> int:
+        return int(active_ids[self.rng.integers(active_ids.size)])
+
+
+class SoloFirstSchedule(Schedule):
+    """The Section 1.2 degenerate schedule: the victim runs *alone first*.
+
+    "A schedule that runs a single player by itself forces that player to
+    find the good object on its own without any assistance from any other
+    player." The victim takes every step until it halts; only then do the
+    others run (round-robin). Whatever the algorithm, the victim's
+    individual cost degenerates to solo search — Θ(1/β) probes — which is
+    why the asynchronous model cannot bound individual cost and the paper
+    moves to the synchronous one.
+    """
+
+    name = "solo-first"
+
+    def __init__(self, victim: int = 0):
+        self.victim = victim
+
+    def reset(self, n_players: int, rng: np.random.Generator) -> None:
+        super().reset(n_players, rng)
+        self._cursor = 0
+
+    def next_player(self, step_no: int, active_ids: np.ndarray) -> int:
+        if bool(np.isin(self.victim, active_ids)):
+            return int(self.victim)
+        idx = np.searchsorted(active_ids, self._cursor)
+        if idx == active_ids.size:
+            idx = 0
+        player = int(active_ids[idx])
+        self._cursor = player + 1
+        if self._cursor >= self.n_players:
+            self._cursor = 0
+        return player
+
+
+class StarvationSchedule(Schedule):
+    """Adversarial schedule starving one victim player.
+
+    The victim is scheduled only once every ``fairness_window`` steps
+    (the minimal service a fairness assumption would force); every other
+    step goes to the victim — no wait, to the *other* players round-robin.
+    With ``fairness_window=None`` the victim is never scheduled until all
+    other players have halted, realizing the Section 1.2 degenerate case:
+    the victim ends up searching alone, and no algorithm can bound its
+    individual cost by collaboration.
+    """
+
+    name = "starvation"
+
+    def __init__(self, victim: int = 0, fairness_window: Optional[int] = None):
+        if fairness_window is not None and fairness_window < 2:
+            raise ConfigurationError(
+                f"fairness_window must be >= 2, got {fairness_window}"
+            )
+        self.victim = victim
+        self.fairness_window = fairness_window
+
+    def reset(self, n_players: int, rng: np.random.Generator) -> None:
+        super().reset(n_players, rng)
+        self._cursor = 0
+
+    def next_player(self, step_no: int, active_ids: np.ndarray) -> int:
+        victim_active = bool(np.isin(self.victim, active_ids))
+        others = active_ids[active_ids != self.victim]
+        if victim_active and (
+            others.size == 0
+            or (
+                self.fairness_window is not None
+                and step_no % self.fairness_window == self.fairness_window - 1
+            )
+        ):
+            return int(self.victim)
+        if others.size == 0:
+            return int(active_ids[0])
+        idx = np.searchsorted(others, self._cursor)
+        if idx == others.size:
+            idx = 0
+        player = int(others[idx])
+        self._cursor = player + 1
+        if self._cursor >= self.n_players:
+            self._cursor = 0
+        return player

@@ -1,0 +1,118 @@
+"""Structured execution traces and replay audits.
+
+With ``EngineConfig(trace=True)`` the synchronous engine records every
+observable event — probe batches, vote posts, halts, adversary posts —
+as structured :class:`TraceEvent` records. Traces serve three purposes:
+
+* **debugging** — a run can be inspected event by event or dumped as
+  JSON lines;
+* **auditing** — :func:`replay_metrics` recomputes the run's metrics
+  *from the trace alone* and must agree with the engine's own
+  accounting (the integration tests enforce this), so the metrics can
+  never silently drift from what actually happened;
+* **provenance** — benches can archive traces next to their tables.
+
+Tracing costs memory proportional to probes, so it is off by default.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured event.
+
+    Kinds emitted by the engine: ``probes`` (a round's probe batch),
+    ``vote`` (an honest vote post), ``halt`` (players stopping),
+    ``adversary`` (a dishonest post), ``end`` (run summary stamp).
+    """
+
+    seq: int
+    round_no: int
+    kind: str
+    payload: Dict[str, Any]
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "seq": self.seq,
+                "round": self.round_no,
+                "kind": self.kind,
+                **self.payload,
+            },
+            sort_keys=True,
+        )
+
+
+class Trace:
+    """An append-only event log for one run."""
+
+    def __init__(self) -> None:
+        self._events: List[TraceEvent] = []
+
+    def record(self, round_no: int, kind: str, **payload: Any) -> None:
+        self._events.append(
+            TraceEvent(
+                seq=len(self._events),
+                round_no=round_no,
+                kind=kind,
+                payload=payload,
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        return [e for e in self._events if e.kind == kind]
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for event in self._events:
+            out[event.kind] = out.get(event.kind, 0) + 1
+        return out
+
+    def to_jsonl(self) -> str:
+        """The whole trace as JSON lines (one event per line)."""
+        return "\n".join(event.to_json() for event in self._events)
+
+    def write_jsonl(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_jsonl() + "\n")
+
+
+def replay_metrics(trace: Trace, n_players: int, good_mask: np.ndarray):
+    """Recompute per-player probes/satisfaction from a trace alone.
+
+    Returns ``(probes, satisfied_round, halted_round)`` arrays with the
+    same semantics as :class:`~repro.sim.metrics.RunMetrics`. Used by the
+    audit tests: the engine's books must match its own event stream.
+    """
+    if len(trace) == 0:
+        raise ConfigurationError("cannot replay an empty trace")
+    probes = np.zeros(n_players, dtype=np.int64)
+    satisfied = np.full(n_players, -1, dtype=np.int64)
+    halted = np.full(n_players, -1, dtype=np.int64)
+    for event in trace:
+        if event.kind == "probes":
+            players = event.payload["players"]
+            objects = event.payload["objects"]
+            for player, obj in zip(players, objects):
+                probes[player] += 1
+                if good_mask[obj] and satisfied[player] < 0:
+                    satisfied[player] = event.round_no
+        elif event.kind == "halt":
+            for player in event.payload["players"]:
+                halted[player] = event.round_no
+    return probes, satisfied, halted

@@ -1,0 +1,126 @@
+"""The cohort strategy interface.
+
+Honest players in the paper's synchronous model all run the same code and
+read the same billboard, so their phase structure is identical in every
+round — only their coin flips differ. We therefore implement an honest
+protocol as a single *cohort* object that, each round, chooses a probe for
+every active honest player at once (vectorized), rather than ``n`` separate
+agent objects doing identical bookkeeping. Tests in
+``tests/core/test_lockstep.py`` verify the observational equivalence by
+re-deriving phase boundaries per player.
+
+Information discipline: a strategy only ever sees
+
+* the :class:`StrategyContext` — the public parameters a player of the
+  paper legitimately knows (``n``, ``m``, the hardwired ``α`` and ``β``,
+  and the local-test threshold when the model supports it), and
+* a :class:`~repro.billboard.views.BillboardView` at the proper horizon.
+
+It never sees ground-truth goodness, honest identities, or object values
+other than through probe outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.billboard.views import BillboardView
+
+
+@dataclass
+class StrategyContext:
+    """Public knowledge available to every honest player.
+
+    Attributes
+    ----------
+    n, m:
+        Numbers of players and objects.
+    alpha:
+        The honest fraction as *assumed by the protocol* (Figure 1
+        hardwires ``α``; Section 5.1 removes the assumption). This may
+        deliberately differ from the instance's true ``α``.
+    beta:
+        The good-object fraction assumed by the protocol.
+    good_threshold:
+        Local-testing threshold, or ``None`` in the no-local-testing
+        model (Section 5.3).
+    """
+
+    n: int
+    m: int
+    alpha: float
+    beta: float
+    good_threshold: Optional[float] = None
+
+    @property
+    def supports_local_testing(self) -> bool:
+        return self.good_threshold is not None
+
+
+class Strategy:
+    """Base class for honest cohort protocols.
+
+    Lifecycle: the engine calls :meth:`reset` once, then per round
+    :meth:`choose_probes` followed by :meth:`handle_results`, and finally
+    reads :meth:`info` for diagnostics.
+    """
+
+    #: human-readable protocol name (used in tables)
+    name: str = "strategy"
+
+    def reset(self, ctx: StrategyContext, rng: np.random.Generator) -> None:
+        """Prepare for a fresh run."""
+        self.ctx = ctx
+        self.rng = rng
+
+    def choose_probes(
+        self,
+        round_no: int,
+        active_players: np.ndarray,
+        view: BillboardView,
+    ) -> np.ndarray:
+        """Pick one object per active player for this round.
+
+        Returns an int64 array aligned with ``active_players``; ``-1``
+        means the player idles this round (e.g. an advice round where the
+        chosen advisor has no vote).
+        """
+        raise NotImplementedError
+
+    def handle_results(
+        self,
+        round_no: int,
+        players: np.ndarray,
+        objects: np.ndarray,
+        values: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Digest probe outcomes; decide votes and halts.
+
+        Parameters are aligned arrays for the players that actually probed
+        (idlers are excluded). Returns ``(vote_mask, halt_mask)``:
+        ``vote_mask[i]`` — player posts a vote for ``objects[i]``;
+        ``halt_mask[i]`` — player stops probing permanently.
+
+        The default implements the local-testing rule of Figure 1: vote
+        for, and halt on, the first object passing the local test.
+        """
+        threshold = self.ctx.good_threshold
+        if threshold is None:
+            raise NotImplementedError(
+                "no-local-testing strategies must override handle_results"
+            )
+        good = values >= threshold
+        return good, good
+
+    def finished(self, round_no: int) -> bool:
+        """Whether the protocol prescribes stopping now (Section 5.3 runs
+        for a fixed number of rounds; local-testing runs stop when every
+        honest player has halted)."""
+        return False
+
+    def info(self) -> Dict[str, Any]:
+        """Diagnostics exported into :class:`~repro.sim.metrics.RunMetrics`."""
+        return {}

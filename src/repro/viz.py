@@ -1,0 +1,133 @@
+"""Terminal visualizations of runs and traces.
+
+Plotting-stack-free views of what a simulation did:
+
+* :func:`satisfaction_curve` — fraction of honest players satisfied per
+  round (the epidemic curve Lemma 6 describes);
+* :func:`candidate_trajectory` — DISTILL's candidate-set sizes per
+  ATTEMPT (the ``c_t`` sequence of Lemma 7);
+* :func:`billboard_timeline` — votes per round, honest vs Byzantine
+  (where the adversary spent its budget);
+* :func:`render_run` — all of the above for one finished engine.
+
+Everything renders to plain strings, so the output drops into logs,
+docstrings, and bench artifacts unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sim.engine import SynchronousEngine
+from repro.sim.metrics import RunMetrics
+
+
+def _bar(fraction: float, width: int) -> str:
+    filled = int(round(max(0.0, min(1.0, fraction)) * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def satisfaction_curve(
+    metrics: RunMetrics, width: int = 40, max_rows: int = 20
+) -> str:
+    """Per-round honest satisfaction, one bar per (sub-sampled) round."""
+    honest = metrics.honest_mask
+    sat_rounds = metrics.satisfied_round[honest]
+    n_honest = int(honest.sum())
+    rounds = max(metrics.rounds, 1)
+    step = max(1, rounds // max_rows)
+    lines = ["round  satisfied"]
+    for r in range(0, rounds + 1, step):
+        frac = float((
+            (sat_rounds >= 0) & (sat_rounds <= r)
+        ).sum()) / n_honest
+        lines.append(f"{r:5d}  |{_bar(frac, width)}| {frac:6.1%}")
+    return "\n".join(lines)
+
+
+def candidate_trajectory(metrics: RunMetrics) -> str:
+    """The ``c_t`` sequences of each ATTEMPT, log-scaled bars."""
+    attempts = metrics.strategy_info.get("attempts")
+    if not attempts:
+        return "(strategy reported no candidate trajectory)"
+    lines: List[str] = []
+    for i, attempt in enumerate(attempts):
+        sizes = attempt.get("c_sizes") or []
+        s_size = attempt.get("s_size")
+        lines.append(
+            f"ATTEMPT {i + 1}: |S|={s_size if s_size is not None else '?'}"
+        )
+        if not sizes:
+            lines.append("  (run ended before C0 formed)")
+            continue
+        top = max(max(sizes), 1)
+        for t, c in enumerate(sizes):
+            label = "C0" if t == 0 else f"C{t}"
+            frac = (np.log1p(c) / np.log1p(top)) if top > 0 else 0.0
+            lines.append(f"  {label:>3} = {c:5d} |{_bar(float(frac), 30)}|")
+    return "\n".join(lines)
+
+
+def billboard_timeline(
+    engine: SynchronousEngine, width: int = 40, max_rows: int = 20
+) -> str:
+    """Votes per round, split honest (#) vs Byzantine (x)."""
+    board = engine.board
+    honest_mask = engine.instance.honest_mask
+    last = board.last_round
+    if last < 0:
+        return "(no votes were posted)"
+    honest = np.zeros(last + 1, dtype=np.int64)
+    byz = np.zeros(last + 1, dtype=np.int64)
+    for post in board.vote_posts():
+        if honest_mask[post.player]:
+            honest[post.round_no] += 1
+        else:
+            byz[post.round_no] += 1
+    peak = max(int((honest + byz).max()), 1)
+    step = max(1, (last + 1) // max_rows)
+    lines = ["round  votes (# honest, x byzantine)"]
+    for r in range(0, last + 1, step):
+        h = int(honest[r: r + step].sum())
+        b = int(byz[r: r + step].sum())
+        h_w = int(round(width * h / (peak * step)))
+        b_w = int(round(width * b / (peak * step)))
+        lines.append(f"{r:5d}  {'#' * h_w}{'x' * b_w} ({h}/{b})")
+    return "\n".join(lines)
+
+
+def render_run(engine: SynchronousEngine, metrics: RunMetrics) -> str:
+    """The full dashboard for one finished run."""
+    inst = engine.instance
+    header = (
+        f"{inst.describe()}\n"
+        f"rounds={metrics.rounds} "
+        f"mean_probes={metrics.mean_individual_probes:.2f} "
+        f"success={metrics.all_honest_satisfied}"
+    )
+    return "\n\n".join(
+        [
+            header,
+            "satisfaction curve:\n" + satisfaction_curve(metrics),
+            "candidate trajectory:\n" + candidate_trajectory(metrics),
+            "billboard timeline:\n" + billboard_timeline(engine),
+        ]
+    )
+
+
+def compare_series(
+    x_label: str,
+    xs: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    width: int = 48,
+) -> str:
+    """Re-export of the experiments table 'figure' renderer (one import
+    point for users who only touch :mod:`repro.viz`)."""
+    from repro.experiments.tables import format_series
+
+    if not series:
+        raise ConfigurationError("compare_series needs at least one series")
+    return format_series(x_label, xs, series, width=width)

@@ -1,0 +1,150 @@
+"""Factories for the standard instance families of the paper.
+
+Three families cover every experiment:
+
+* :func:`planted_instance` — the unit-cost, local-testing world of
+  Section 4: good objects have value 1, bad ones value 0, the threshold is
+  1/2.
+* :func:`valued_instance` — the no-local-testing world of Section 5.3:
+  continuous values, goodness = top ``β·m`` values, no threshold exposed.
+* :func:`cost_class_instance` — the multiple-costs world of Theorem 12:
+  costs are powers of two grouped into classes ``[2^i, 2^(i+1))``.
+
+All factories take a :class:`numpy.random.Generator` so that worlds are
+reproducible and independent of strategy/adversary randomness.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.world.instance import Instance, roles_from_alpha
+from repro.world.objects import ObjectSpace
+
+
+def _plant_good(m: int, n_good: int, rng: np.random.Generator) -> np.ndarray:
+    """Random good mask with exactly ``n_good`` good objects."""
+    if not 1 <= n_good <= m:
+        raise ConfigurationError(
+            f"need 1 <= n_good <= m, got n_good={n_good}, m={m}"
+        )
+    mask = np.zeros(m, dtype=bool)
+    mask[rng.choice(m, size=n_good, replace=False)] = True
+    return mask
+
+
+def planted_instance(
+    n: int,
+    m: int,
+    beta: float,
+    alpha: float,
+    rng: np.random.Generator,
+    shuffle_roles: bool = True,
+) -> Instance:
+    """Unit-cost local-testing instance with 0/1 values.
+
+    ``round(beta * m)`` objects (at least one) are planted good with value
+    1.0; the rest are bad with value 0.0. The local test is
+    ``value >= 0.5``. Honest roles are a random ``round(alpha * n)``-subset.
+    """
+    if not 0 < beta <= 1:
+        raise ConfigurationError(f"beta must be in (0, 1], got {beta}")
+    n_good = max(1, int(round(beta * m)))
+    good = _plant_good(m, n_good, rng)
+    values = np.where(good, 1.0, 0.0)
+    costs = np.ones(m, dtype=np.float64)
+    space = ObjectSpace(values, costs, good, good_threshold=0.5)
+    mask = roles_from_alpha(n, alpha, rng=rng, shuffle=shuffle_roles)
+    return Instance(space, mask)
+
+
+def valued_instance(
+    n: int,
+    m: int,
+    beta: float,
+    alpha: float,
+    rng: np.random.Generator,
+    shuffle_roles: bool = True,
+) -> Instance:
+    """No-local-testing instance with continuous values (Section 5.3).
+
+    Values are i.i.d. uniform on (0, 1); the good set is the top
+    ``round(beta * m)`` values. No threshold is exposed, so strategies must
+    use the no-local-testing machinery (votes are best-so-far).
+    """
+    if not 0 < beta <= 1:
+        raise ConfigurationError(f"beta must be in (0, 1], got {beta}")
+    values = rng.random(m)
+    n_good = max(1, int(round(beta * m)))
+    order = np.argsort(-values, kind="stable")
+    good = np.zeros(m, dtype=bool)
+    good[order[:n_good]] = True
+    costs = np.ones(m, dtype=np.float64)
+    space = ObjectSpace(values, costs, good, good_threshold=None)
+    mask = roles_from_alpha(n, alpha, rng=rng, shuffle=shuffle_roles)
+    return Instance(space, mask)
+
+
+def cost_class_instance(
+    n: int,
+    class_sizes: Sequence[int],
+    good_class: int,
+    alpha: float,
+    rng: np.random.Generator,
+    goods_in_class: int = 1,
+    shuffle_roles: bool = True,
+) -> Instance:
+    """Multiple-costs instance for Theorem 12.
+
+    ``class_sizes[i]`` objects are created with cost ``2**i`` (so class
+    ``i`` in the paper's sense, cost in ``[2^i, 2^(i+1))``). Exactly
+    ``goods_in_class`` good objects (value 1.0) are planted uniformly in
+    class ``good_class``; every other object is bad (value 0.0). The
+    cheapest good object therefore costs ``q0 = 2**good_class``.
+    """
+    if not class_sizes:
+        raise ConfigurationError("need at least one cost class")
+    if not 0 <= good_class < len(class_sizes):
+        raise ConfigurationError(
+            f"good_class {good_class} outside [0, {len(class_sizes)})"
+        )
+    if goods_in_class < 1 or goods_in_class > class_sizes[good_class]:
+        raise ConfigurationError(
+            f"goods_in_class={goods_in_class} does not fit in class "
+            f"{good_class} of size {class_sizes[good_class]}"
+        )
+    costs_list = []
+    for klass, size in enumerate(class_sizes):
+        if size < 0:
+            raise ConfigurationError("class sizes must be non-negative")
+        costs_list.append(np.full(size, 2.0 ** klass))
+    costs = np.concatenate(costs_list)
+    m = costs.shape[0]
+    class_start = int(np.sum([class_sizes[i] for i in range(good_class)]))
+    good = np.zeros(m, dtype=bool)
+    chosen = rng.choice(
+        class_sizes[good_class], size=goods_in_class, replace=False
+    )
+    good[class_start + np.asarray(chosen, dtype=np.int64)] = True
+    values = np.where(good, 1.0, 0.0)
+    space = ObjectSpace(values, costs, good, good_threshold=0.5)
+    mask = roles_from_alpha(n, alpha, rng=rng, shuffle=shuffle_roles)
+    return Instance(space, mask)
+
+
+def explicit_instance(
+    values: np.ndarray,
+    good_mask: np.ndarray,
+    honest_mask: np.ndarray,
+    costs: Optional[np.ndarray] = None,
+    good_threshold: Optional[float] = None,
+) -> Instance:
+    """Wrap explicit arrays into an :class:`Instance` (tests, lower bounds)."""
+    values = np.asarray(values, dtype=np.float64)
+    if costs is None:
+        costs = np.ones_like(values)
+    space = ObjectSpace(values, costs, good_mask, good_threshold=good_threshold)
+    return Instance(space, np.asarray(honest_mask, dtype=bool))

@@ -1,0 +1,123 @@
+"""Problem instances: an object space plus player roles.
+
+An :class:`Instance` is everything the *harness* knows about a run: the
+objects (values, costs, good set) and which players are honest. Strategies
+and adversaries only ever see the parts they are entitled to (strategies
+observe values through probes; adversaries know everything, per the
+Byzantine model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.world.objects import ObjectSpace
+
+
+@dataclass
+class Instance:
+    """One concrete world for a simulation run.
+
+    Attributes
+    ----------
+    space:
+        The objects.
+    honest_mask:
+        Boolean array of shape ``(n,)``; ``True`` marks honest players.
+    """
+
+    space: ObjectSpace
+    honest_mask: np.ndarray
+    _honest_ids: np.ndarray = field(init=False, repr=False)
+    _dishonest_ids: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.honest_mask = np.asarray(self.honest_mask, dtype=bool)
+        if self.honest_mask.ndim != 1 or self.honest_mask.shape[0] == 0:
+            raise ConfigurationError("honest_mask must be a non-empty 1-d array")
+        if not self.honest_mask.any():
+            raise ConfigurationError(
+                "an instance needs at least one honest player (alpha > 0)"
+            )
+        self._honest_ids = np.flatnonzero(self.honest_mask)
+        self._dishonest_ids = np.flatnonzero(~self.honest_mask)
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of players."""
+        return int(self.honest_mask.shape[0])
+
+    @property
+    def m(self) -> int:
+        """Number of objects."""
+        return self.space.m
+
+    @property
+    def alpha(self) -> float:
+        """Fraction of honest players (the paper's ``α``)."""
+        return float(self.honest_mask.sum()) / self.n
+
+    @property
+    def beta(self) -> float:
+        """Fraction of good objects (the paper's ``β``)."""
+        return self.space.beta
+
+    @property
+    def honest_ids(self) -> np.ndarray:
+        """Sorted ids of honest players."""
+        return self._honest_ids
+
+    @property
+    def dishonest_ids(self) -> np.ndarray:
+        """Sorted ids of dishonest players."""
+        return self._dishonest_ids
+
+    @property
+    def n_honest(self) -> int:
+        return int(self._honest_ids.shape[0])
+
+    @property
+    def n_dishonest(self) -> int:
+        return int(self._dishonest_ids.shape[0])
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"Instance(n={self.n}, m={self.m}, "
+            f"alpha={self.alpha:.4g}, beta={self.beta:.4g}, "
+            f"local_testing={self.space.supports_local_testing}, "
+            f"unit_costs={self.space.unit_costs})"
+        )
+
+
+def roles_from_alpha(
+    n: int,
+    alpha: float,
+    rng: Optional[np.random.Generator] = None,
+    shuffle: bool = True,
+) -> np.ndarray:
+    """Build an honest mask with ``round(alpha * n)`` honest players.
+
+    The count is clamped to ``[1, n]`` so an instance is always solvable.
+    With ``shuffle`` the honest identities are a uniformly random subset;
+    otherwise players ``0..k-1`` are honest (useful for deterministic
+    tests and the lower-bound constructions, which fix identities).
+    """
+    if not 0 < alpha <= 1:
+        raise ConfigurationError(f"alpha must be in (0, 1], got {alpha}")
+    if n <= 0:
+        raise ConfigurationError(f"n must be positive, got {n}")
+    k = int(round(alpha * n))
+    k = min(max(k, 1), n)
+    mask = np.zeros(n, dtype=bool)
+    mask[:k] = True
+    if shuffle:
+        if rng is None:
+            raise ConfigurationError("shuffle=True requires an rng")
+        rng.shuffle(mask)
+    return mask

@@ -1,0 +1,157 @@
+"""Object spaces: values, costs, and goodness.
+
+Section 2.2 distinguishes two object models:
+
+* **local testing** — a player can tell whether an object is good right
+  after probing it (e.g. "value exceeds a known threshold"); this is the
+  model under which Algorithm DISTILL is stated;
+* **no local testing** — goodness is defined only relatively: an object is
+  good iff it is among the top ``β·m`` values (Section 5.3).
+
+Both are served by the same :class:`ObjectSpace`; the difference lives in
+whether a *strategy* is allowed to call :meth:`ObjectSpace.passes_local_test`.
+The ground-truth good set is always well-defined so the harness can score
+outcomes either way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class ObjectSpace:
+    """The ``m`` objects of the model.
+
+    Attributes
+    ----------
+    values:
+        Intrinsic (initially unknown to players) values, shape ``(m,)``.
+    costs:
+        Known probing costs, shape ``(m,)``; the unit-cost model of
+        Section 4 uses all ones, Theorem 12 uses powers of two.
+    good_mask:
+        Ground-truth goodness, shape ``(m,)`` boolean.
+    good_threshold:
+        When set, the local-testing predicate is
+        ``value >= good_threshold`` and must agree with ``good_mask``.
+        When ``None`` the space only supports the no-local-testing model.
+    """
+
+    values: np.ndarray
+    costs: np.ndarray
+    good_mask: np.ndarray
+    good_threshold: Optional[float] = None
+    _good_ids: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=np.float64)
+        self.costs = np.asarray(self.costs, dtype=np.float64)
+        self.good_mask = np.asarray(self.good_mask, dtype=bool)
+        m = self.values.shape[0]
+        if self.values.ndim != 1 or m == 0:
+            raise ConfigurationError("values must be a non-empty 1-d array")
+        if self.costs.shape != (m,) or self.good_mask.shape != (m,):
+            raise ConfigurationError(
+                "values, costs, good_mask must share shape "
+                f"({m},); got {self.costs.shape}, {self.good_mask.shape}"
+            )
+        if np.any(self.values < 0) or np.any(self.costs < 0):
+            raise ConfigurationError("values and costs must be non-negative")
+        if not self.good_mask.any():
+            raise ConfigurationError("an object space needs >= 1 good object")
+        if self.good_threshold is not None:
+            implied = self.values >= self.good_threshold
+            if not np.array_equal(implied, self.good_mask):
+                raise ConfigurationError(
+                    "good_threshold does not reproduce good_mask; either fix "
+                    "the threshold or pass good_threshold=None (no local "
+                    "testing)"
+                )
+        self._good_ids = np.flatnonzero(self.good_mask)
+
+    # ------------------------------------------------------------------
+    @property
+    def m(self) -> int:
+        """Number of objects."""
+        return int(self.values.shape[0])
+
+    @property
+    def beta(self) -> float:
+        """Fraction of good objects (the paper's ``β``)."""
+        return float(self.good_mask.sum()) / self.m
+
+    @property
+    def good_ids(self) -> np.ndarray:
+        """Ids of the good objects (sorted)."""
+        return self._good_ids
+
+    @property
+    def supports_local_testing(self) -> bool:
+        return self.good_threshold is not None
+
+    @property
+    def unit_costs(self) -> bool:
+        """Whether every probe costs exactly one (the Section 4 model)."""
+        return bool(np.all(self.costs == 1.0))
+
+    @property
+    def cheapest_good_cost(self) -> float:
+        """``q0`` of Theorem 12: the cost of the cheapest good object."""
+        return float(self.costs[self._good_ids].min())
+
+    # ------------------------------------------------------------------
+    def is_good(self, object_id: int) -> bool:
+        """Ground-truth goodness (harness-side scoring)."""
+        return bool(self.good_mask[object_id])
+
+    def passes_local_test(self, object_id: int) -> bool:
+        """The player-visible goodness test (local-testing model only)."""
+        if self.good_threshold is None:
+            raise ConfigurationError(
+                "this object space does not support local testing"
+            )
+        return bool(self.values[object_id] >= self.good_threshold)
+
+    def cost_class_of(self, object_id: int) -> int:
+        """Theorem 12 cost class: class ``i`` holds costs in ``[2^i, 2^(i+1))``.
+
+        Costs are assumed (w.l.o.g., as in the paper) to be at least 1.
+        """
+        cost = self.costs[object_id]
+        if cost < 1.0:
+            raise ConfigurationError(
+                f"cost classes assume costs >= 1, object {object_id} costs {cost}"
+            )
+        return int(np.floor(np.log2(cost)))
+
+    def cost_class_members(self, klass: int) -> np.ndarray:
+        """All object ids whose cost lies in ``[2^klass, 2^(klass+1))``."""
+        low, high = 2.0 ** klass, 2.0 ** (klass + 1)
+        return np.flatnonzero((self.costs >= low) & (self.costs < high))
+
+    def n_cost_classes(self) -> int:
+        """``1 +`` the largest occupied cost class index."""
+        if np.any(self.costs < 1.0):
+            raise ConfigurationError("cost classes assume costs >= 1")
+        return int(np.floor(np.log2(self.costs.max()))) + 1
+
+    def top_beta_mask(self, beta: float) -> np.ndarray:
+        """Goodness mask for the no-local-testing model: top ``β·m`` values.
+
+        Ties are broken by object id, matching how the generators plant
+        instances.
+        """
+        if not 0 < beta <= 1:
+            raise ConfigurationError(f"beta must be in (0, 1], got {beta}")
+        k = max(1, int(round(beta * self.m)))
+        # argsort descending by value, ascending by id for ties
+        order = np.lexsort((np.arange(self.m), -self.values))
+        mask = np.zeros(self.m, dtype=bool)
+        mask[order[:k]] = True
+        return mask

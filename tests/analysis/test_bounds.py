@@ -1,0 +1,108 @@
+"""Tests for the closed-form bound curves."""
+
+import math
+
+import pytest
+
+from repro.analysis.bounds import (
+    async_ec04_expected_rounds,
+    cor5_bound,
+    delta,
+    lemma7_iteration_bound,
+    log2n,
+    thm1_lower,
+    thm2_lower,
+    thm4_expected_rounds,
+    thm11_rounds,
+    thm12_payment_bound,
+    trivial_expected_probes,
+)
+from repro.errors import ConfigurationError
+
+
+class TestDelta:
+    def test_matches_notation3(self):
+        # Delta = log(1/(1-alpha) + log n)
+        assert delta(0.5, 256) == pytest.approx(math.log2(2 + 8))
+
+    def test_alpha_one_is_infinite(self):
+        assert math.isinf(delta(1.0, 256))
+
+    def test_grows_with_alpha(self):
+        assert delta(0.99, 1024) > delta(0.5, 1024)
+
+    def test_grows_with_n(self):
+        assert delta(0.5, 2 ** 20) > delta(0.5, 2 ** 8)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            delta(0.0, 16)
+
+
+class TestTheorem4:
+    def test_two_terms(self):
+        n, alpha, beta = 1024, 0.5, 1 / 16
+        expected = 1 / (alpha * beta * n) + log2n(n) / (
+            delta(alpha, n) * alpha
+        )
+        assert thm4_expected_rounds(n, alpha, beta) == pytest.approx(
+            expected
+        )
+
+    def test_alpha_one_drops_distill_term(self):
+        n, beta = 1024, 1 / 16
+        assert thm4_expected_rounds(n, 1.0, beta) == pytest.approx(
+            1 / (beta * n)
+        )
+
+    def test_decreasing_in_alpha(self):
+        assert thm4_expected_rounds(1024, 0.9, 1 / 16) < thm4_expected_rounds(
+            1024, 0.2, 1 / 16
+        )
+
+
+class TestOthers:
+    def test_cor5_shape(self):
+        assert cor5_bound(0.5) == 2.0
+        with pytest.raises(ConfigurationError):
+            cor5_bound(0.0)
+
+    def test_lemma7_finite_at_alpha_one(self):
+        assert lemma7_iteration_bound(1024, 1.0) == 1.0
+
+    def test_lemma7_sublogarithmic(self):
+        n = 2 ** 20
+        assert lemma7_iteration_bound(n, 0.5) < log2n(n)
+
+    def test_thm1_scaling(self):
+        assert thm1_lower(100, 100, 0.5, 0.1) == pytest.approx(
+            1 / (0.5 * 0.1 * 100)
+        )
+
+    def test_thm2_min_structure(self):
+        # 0.5 * min(1/alpha, 1/beta) — symmetric in (alpha, beta)
+        assert thm2_lower(0.1, 0.5) == pytest.approx(1.0)
+        assert thm2_lower(0.5, 0.1) == pytest.approx(1.0)
+        assert thm2_lower(0.1, 0.1) == pytest.approx(5.0)
+
+    def test_thm11_equals_async_form(self):
+        assert thm11_rounds(256, 0.5, 0.25) == async_ec04_expected_rounds(
+            256, 0.5, 0.25
+        )
+
+    def test_thm12_linear_in_q0(self):
+        small = thm12_payment_bound(1.0, 512, 512, 0.5)
+        large = thm12_payment_bound(16.0, 512, 512, 0.5)
+        assert large == pytest.approx(16 * small)
+
+    def test_thm12_rejects_sub_unit_q0(self):
+        with pytest.raises(ConfigurationError):
+            thm12_payment_bound(0.5, 512, 512, 0.5)
+
+    def test_trivial_geometric(self):
+        assert trivial_expected_probes(0.125) == 8.0
+
+    def test_log2n_floor(self):
+        assert log2n(1) == 1.0
+        assert log2n(2) == 1.0
+        assert log2n(1024) == 10.0

@@ -1,0 +1,50 @@
+"""Tests for the theory card."""
+
+import math
+
+import pytest
+
+from repro.analysis.card import theory_card, theory_values
+from repro.errors import ConfigurationError
+
+
+class TestTheoryValues:
+    def test_contains_every_claim(self):
+        values = theory_values(1024, 1024, 0.5, 1 / 16)
+        for fragment in ("Thm 1", "Thm 2", "Thm 4", "Lemma 7", "Thm 11",
+                         "Thm 12", "trivial", "prior"):
+            assert any(fragment in key for key in values), fragment
+
+    def test_values_are_finite_for_interior_alpha(self):
+        values = theory_values(1024, 1024, 0.5, 1 / 16)
+        assert all(math.isfinite(v) for v in values.values())
+
+    def test_alpha_one_gives_infinite_delta_only(self):
+        values = theory_values(1024, 1024, 1.0, 1 / 16)
+        infinite = [k for k, v in values.items() if math.isinf(v)]
+        assert infinite == ["delta (Notation 3)"]
+
+    def test_q0_scales_thm12(self):
+        base = theory_values(512, 512, 0.5, 1 / 16, q0=1.0)
+        scaled = theory_values(512, 512, 0.5, 1 / 16, q0=8.0)
+        assert scaled["Thm 12 payment (at q0)"] == pytest.approx(
+            8 * base["Thm 12 payment (at q0)"]
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            theory_values(0, 10, 0.5, 0.5)
+
+
+class TestTheoryCard:
+    def test_renders_parameters_in_header(self):
+        card = theory_card(256, 256, 0.75, 0.125)
+        assert "n=256" in card
+        assert "alpha=0.75" in card
+
+    def test_q0_shown_only_when_nontrivial(self):
+        assert "q0=" not in theory_card(64, 64, 0.5, 0.5)
+        assert "q0=4" in theory_card(64, 64, 0.5, 0.5, q0=4.0)
+
+    def test_mentions_constant_free_caveat(self):
+        assert "constant-free" in theory_card(64, 64, 0.5, 0.5)

@@ -1,0 +1,54 @@
+"""Tests for concentration-bound helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.concentration import (
+    chernoff_below_half_mean,
+    chernoff_lower_tail,
+    markov_tail,
+)
+from repro.errors import ConfigurationError
+
+
+class TestChernoff:
+    def test_half_mean_form(self):
+        assert chernoff_below_half_mean(16.0) == pytest.approx(
+            math.exp(-2.0)
+        )
+
+    def test_matches_general_form_at_half(self):
+        # both use exp(-delta^2 E / 2) at delta = 1/2 -> exp(-E/8)
+        e = 10.0
+        assert chernoff_lower_tail(e, 0.5) == pytest.approx(
+            chernoff_below_half_mean(e)
+        )
+
+    def test_bound_actually_bounds_binomial(self, rng):
+        """Empirical check: P[Bin(n,p) < np/2] <= exp(-np/8)."""
+        n, p = 200, 0.2
+        samples = rng.binomial(n, p, size=20000)
+        empirical = float((samples < n * p / 2).mean())
+        assert empirical <= chernoff_below_half_mean(n * p) + 0.01
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            chernoff_below_half_mean(-1.0)
+        with pytest.raises(ConfigurationError):
+            chernoff_lower_tail(1.0, 0.0)
+
+
+class TestMarkov:
+    def test_basic(self):
+        assert markov_tail(2.0, 10.0) == pytest.approx(0.2)
+
+    def test_capped_at_one(self):
+        assert markov_tail(20.0, 10.0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            markov_tail(1.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            markov_tail(-1.0, 1.0)

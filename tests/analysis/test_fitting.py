@@ -1,0 +1,68 @@
+"""Tests for scaling-law fits."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.fitting import fit_power_law, fit_scale_factor, r_squared
+from repro.errors import ConfigurationError
+
+
+class TestPowerLaw:
+    def test_recovers_exact_law(self):
+        x = np.array([1.0, 2.0, 4.0, 8.0])
+        y = 3.0 * x ** 1.5
+        fit = fit_power_law(x, y)
+        assert fit.exponent == pytest.approx(1.5)
+        assert fit.coefficient == pytest.approx(3.0)
+        assert fit.r2 == pytest.approx(1.0)
+
+    def test_noise_degrades_r2(self, rng):
+        x = np.array([1.0, 2.0, 4.0, 8.0, 16.0, 32.0])
+        y = x * np.exp(rng.normal(scale=0.5, size=6))
+        fit = fit_power_law(x, y)
+        assert fit.r2 < 1.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            fit_power_law([1.0, 2.0], [0.0, 1.0])
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ConfigurationError):
+            fit_power_law([1.0], [1.0])
+
+
+class TestScaleFactor:
+    def test_recovers_constant(self):
+        predicted = np.array([1.0, 2.0, 3.0])
+        assert fit_scale_factor(2.5 * predicted, predicted) == pytest.approx(
+            2.5
+        )
+
+    def test_least_squares_through_origin(self):
+        measured = np.array([1.0, 5.0])
+        predicted = np.array([1.0, 2.0])
+        # c = (1*1 + 5*2)/(1+4) = 11/5
+        assert fit_scale_factor(measured, predicted) == pytest.approx(2.2)
+
+    def test_rejects_all_zero_prediction(self):
+        with pytest.raises(ConfigurationError):
+            fit_scale_factor([1.0], [0.0])
+
+    def test_rejects_mismatched(self):
+        with pytest.raises(ConfigurationError):
+            fit_scale_factor([1.0, 2.0], [1.0])
+
+
+class TestR2:
+    def test_perfect_fit(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r_squared(y, y) == 1.0
+
+    def test_mean_prediction_scores_zero(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r_squared(y, np.full(3, 2.0)) == pytest.approx(0.0)
+
+    def test_constant_target_edge_case(self):
+        y = np.full(3, 2.0)
+        assert r_squared(y, y) == 1.0
+        assert r_squared(y, y + 1.0) == 0.0

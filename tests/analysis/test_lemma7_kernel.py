@@ -1,0 +1,64 @@
+"""Tests for the Lemma 7 worst-case kernel."""
+
+import pytest
+
+from repro.analysis.bounds import lemma7_iteration_bound, log2n
+from repro.analysis.lemma7_kernel import (
+    initial_candidate_count,
+    worst_case_iterations,
+)
+from repro.errors import ConfigurationError
+
+
+class TestInitialCandidates:
+    def test_budget_arithmetic(self):
+        # budget (1-a)n = 512, half = 256, need = ceil(8/4) = 2 -> 128 + good
+        assert initial_candidate_count(1024, 0.5, 8.0) == 129
+
+    def test_high_alpha_few_candidates(self):
+        assert initial_candidate_count(1024, 0.999, 8.0) == 1
+
+
+class TestKernel:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            worst_case_iterations(1024, 1.0)
+        with pytest.raises(ConfigurationError):
+            worst_case_iterations(1, 0.5)
+
+    def test_terminates_at_good_only(self):
+        trace = worst_case_iterations(4096, 0.5)
+        assert trace.candidate_sizes[-1] == 1
+
+    def test_candidate_sizes_non_increasing(self):
+        trace = worst_case_iterations(2 ** 16, 0.2)
+        sizes = trace.candidate_sizes
+        assert all(a >= b for a, b in zip(sizes, sizes[1:]))
+
+    def test_budget_never_exceeded(self):
+        for alpha in (0.9, 0.5, 0.1):
+            trace = worst_case_iterations(2 ** 14, alpha)
+            assert trace.budget_spent <= (1 - alpha) * 2 ** 14
+
+    def test_iterations_respect_lemma7(self):
+        for e in (8, 12, 16, 20, 24):
+            for alpha in (0.9, 0.5, 0.2, 0.05):
+                trace = worst_case_iterations(2 ** e, alpha)
+                bound = lemma7_iteration_bound(2 ** e, alpha)
+                assert trace.iterations <= 2.5 * bound, (e, alpha)
+
+    def test_growth_is_sublogarithmic(self):
+        small = worst_case_iterations(2 ** 10, 0.2).iterations
+        large = worst_case_iterations(2 ** 30, 0.2).iterations
+        log_ratio = log2n(2 ** 30) / log2n(2 ** 10)
+        assert large / small < log_ratio
+
+    def test_more_dishonest_more_iterations(self):
+        mild = worst_case_iterations(2 ** 20, 0.9).iterations
+        harsh = worst_case_iterations(2 ** 20, 0.05).iterations
+        assert harsh >= mild
+
+    def test_explicit_c0_override(self):
+        trace = worst_case_iterations(2 ** 12, 0.5, c0=2)
+        assert trace.c0 == 2
+        assert trace.iterations >= 1

@@ -1,0 +1,151 @@
+"""Executable verification of Lemma 9 — including the erratum.
+
+The reproduction found that Lemma 9 *as printed* is false in general
+(see the erratum in :mod:`repro.analysis.lemma9`); what the Theorem 4
+proof needs is the budget-capped form, which these tests verify
+property-based over random trajectories, the proof's extremal
+sequences, and worst-case kernel traces.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.lemma9 import (
+    application_a,
+    extremal_sigma,
+    f_sigma,
+    g_a,
+    lemma9_bound,
+    lemma9_capped_holds,
+    lemma9_holds,
+)
+from repro.errors import ConfigurationError
+
+ratios = st.lists(st.floats(min_value=0.05, max_value=1.0), max_size=12)
+
+
+def sequence_from(c0, ratio_list):
+    sigma = [c0]
+    for r in ratio_list:
+        nxt = max(1, int(sigma[-1] * r))
+        sigma.append(min(nxt, sigma[-1]))
+    return sigma
+
+
+class TestDefinitions:
+    def test_f_of_constant_sequence(self):
+        assert f_sigma([4, 4, 4]) == pytest.approx(2.0)
+
+    def test_f_of_singleton_is_zero(self):
+        assert f_sigma([7]) == 0.0
+
+    def test_g_a_singleton(self):
+        assert g_a([2], 0.25) == pytest.approx(0.5)
+
+    def test_application_a(self):
+        import math
+
+        assert application_a(64) == pytest.approx(math.exp(-4.0))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            f_sigma([])
+        with pytest.raises(ConfigurationError):
+            f_sigma([2, 3])  # increasing
+        with pytest.raises(ConfigurationError):
+            f_sigma([2, 0])
+        with pytest.raises(ConfigurationError):
+            g_a([2, 1], 1.0)
+        with pytest.raises(ConfigurationError):
+            application_a(0)
+
+
+class TestErratum:
+    def test_printed_form_counterexample(self):
+        """The counterexample recorded in the erratum: sigma = (4,2,1),
+        a = 1/2 violates the inequality as printed."""
+        sigma, a = [4, 2, 1], 0.5
+        assert f_sigma(sigma) == pytest.approx(1.0)
+        assert g_a(sigma, a) > lemma9_bound(sigma, a)
+        assert not lemma9_holds(sigma, a)
+
+    def test_printed_form_holds_for_small_a_on_same_sigma(self):
+        """At the tiny a the application uses, the same sigma is fine."""
+        assert lemma9_holds([4, 2, 1], 0.01)
+
+    def test_capped_form_repairs_the_counterexample(self):
+        # the application's cap is 8(1-alpha) <= 8
+        assert lemma9_capped_holds([4, 2, 1], 0.5, cap=8.0)
+
+
+class TestCappedForm:
+    """The budget-capped form of the erratum, in the Lemma 10 regime:
+    a = e^{-n/16}, c0 <= 4n/k2 (k2 >= 8), f(sigma) <= 8."""
+
+    @given(
+        st.sampled_from([16, 64, 256, 1024, 4096]),
+        st.integers(min_value=1, max_value=512),
+        ratios,
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_holds_on_random_trajectories(self, n, c0_raw, ratio_list):
+        k2 = 8
+        c0 = min(c0_raw, max(1, int(4 * n / k2)))
+        sigma = sequence_from(c0, ratio_list)
+        if f_sigma(sigma) > 8.0:
+            sigma = sigma[:1]
+        assert lemma9_capped_holds(sigma, application_a(n), cap=8.0), sigma
+
+    @given(
+        st.sampled_from([64, 256, 1024]),
+        st.integers(min_value=1, max_value=100),
+        st.floats(min_value=0.0, max_value=7.5),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_holds_on_extremal_sequences(self, n, c0, budget):
+        sigma = extremal_sigma(c0, budget)
+        assert f_sigma(sigma) <= budget + 1e-9
+        assert lemma9_capped_holds(sigma, application_a(n), cap=8.0), sigma
+
+    def test_tight_at_the_all_ones_chain(self):
+        """Equality case: nine 1s have f = 8 and g = 9a = 9·a^{1/c0}."""
+        sigma = [1] * 9
+        a = application_a(64)
+        assert g_a(sigma, a) == pytest.approx(9 * a)
+        assert lemma9_capped_holds(sigma, a, cap=8.0)
+
+    def test_holds_on_kernel_traces(self):
+        """Candidate trajectories from the Lemma 7 worst-case kernel are
+        exactly the shapes the adversary can realize; the capped form
+        must cover them all."""
+        from repro.analysis.lemma7_kernel import worst_case_iterations
+
+        # n caps at 4096: application_a(n) = e^{-n/16} underflows float64
+        # to exactly 0 past n ~ 11000
+        for n in (256, 1024, 4096):
+            for alpha in (0.9, 0.5, 0.2):
+                trace = worst_case_iterations(n, alpha)
+                sigma = [c for c in trace.candidate_sizes if c > 0]
+                assert lemma9_capped_holds(
+                    sigma, application_a(n), cap=8.0
+                ), (n, alpha, sigma)
+
+
+class TestExtremalConstruction:
+    def test_integer_budget_all_equal(self):
+        assert extremal_sigma(10, 3.0) == [10, 10, 10, 10]
+
+    def test_fractional_budget_tail(self):
+        sigma = extremal_sigma(10, 2.5)
+        assert sigma == [10, 10, 10, 5]
+        assert f_sigma(sigma) == pytest.approx(2.5)
+
+    def test_tiny_c0_drops_unrealizable_tail(self):
+        assert extremal_sigma(1, 1.5) == [1, 1]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            extremal_sigma(0, 1.0)
+        with pytest.raises(ConfigurationError):
+            extremal_sigma(5, -1.0)

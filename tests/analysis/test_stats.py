@@ -1,0 +1,134 @@
+"""Tests for statistics helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import bootstrap_ci, mean_ci, summarize
+from repro.errors import ConfigurationError
+
+
+class TestMeanCI:
+    def test_mean_exact(self):
+        mean, _half = mean_ci(np.array([1.0, 2.0, 3.0]))
+        assert mean == 2.0
+
+    def test_single_sample_zero_width(self):
+        mean, half = mean_ci(np.array([5.0]))
+        assert (mean, half) == (5.0, 0.0)
+
+    def test_constant_samples_zero_width(self):
+        _mean, half = mean_ci(np.full(10, 3.0))
+        assert half == 0.0
+
+    def test_width_shrinks_with_samples(self, rng):
+        small = mean_ci(rng.normal(size=20))[1]
+        large = mean_ci(rng.normal(size=2000))[1]
+        assert large < small
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mean_ci(np.array([]))
+
+    def test_coverage_is_near_nominal(self):
+        """~95% of normal-sample CIs should contain the true mean."""
+        rng = np.random.default_rng(0)
+        hits = 0
+        for _ in range(300):
+            sample = rng.normal(loc=1.5, size=30)
+            mean, half = mean_ci(sample)
+            hits += abs(mean - 1.5) <= half
+        assert 0.88 <= hits / 300 <= 0.99
+
+
+class TestBootstrap:
+    def test_interval_contains_point_estimate(self, rng):
+        data = rng.exponential(size=200)
+        lo, hi = bootstrap_ci(data, rng)
+        assert lo <= data.mean() <= hi
+
+    def test_level_widens_interval(self, rng):
+        data = rng.exponential(size=200)
+        lo90, hi90 = bootstrap_ci(data, np.random.default_rng(1), level=0.9)
+        lo99, hi99 = bootstrap_ci(data, np.random.default_rng(1), level=0.99)
+        assert hi99 - lo99 >= hi90 - lo90
+
+    def test_empty_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            bootstrap_ci(np.array([]), rng)
+
+
+class TestSummarize:
+    def test_keys(self, rng):
+        s = summarize(rng.normal(size=50))
+        assert set(s) == {"mean", "ci95", "median", "p90", "p99", "max", "n"}
+
+    def test_quantile_ordering(self, rng):
+        s = summarize(rng.normal(size=500))
+        assert s["median"] <= s["p90"] <= s["p99"] <= s["max"]
+
+    def test_n_recorded(self):
+        assert summarize(np.arange(7.0))["n"] == 7.0
+
+
+class TestWilsonInterval:
+    def test_contains_point_estimate(self):
+        from repro.analysis.stats import wilson_interval
+
+        lo, hi = wilson_interval(8, 10)
+        assert lo <= 0.8 <= hi
+
+    def test_perfect_rate_has_informative_lower_bound(self):
+        from repro.analysis.stats import wilson_interval
+
+        lo, hi = wilson_interval(32, 32)
+        assert hi == 1.0
+        assert 0.85 < lo < 1.0  # not the useless [1, 1] of the normal CI
+
+    def test_zero_rate_symmetric(self):
+        from repro.analysis.stats import wilson_interval
+
+        lo, hi = wilson_interval(0, 32)
+        assert lo == 0.0
+        assert 0.0 < hi < 0.15
+
+    def test_narrows_with_trials(self):
+        from repro.analysis.stats import wilson_interval
+
+        lo_small, _ = wilson_interval(10, 10)
+        lo_large, _ = wilson_interval(100, 100)
+        assert lo_large > lo_small
+
+    def test_validation(self):
+        from repro.analysis.stats import wilson_interval
+
+        with pytest.raises(ConfigurationError):
+            wilson_interval(1, 0)
+        with pytest.raises(ConfigurationError):
+            wilson_interval(5, 4)
+
+
+class TestPairedDifference:
+    def test_detects_small_shift_on_shared_noise(self, rng):
+        from repro.analysis.stats import paired_difference
+
+        world = rng.normal(scale=10.0, size=50)  # huge shared variance
+        a = world + 0.5 + rng.normal(scale=0.1, size=50)
+        b = world + rng.normal(scale=0.1, size=50)
+        out = paired_difference(a, b)
+        assert out["significant"] == 1.0
+        assert 0.3 < out["mean_diff"] < 0.7
+
+    def test_no_effect_is_insignificant(self, rng):
+        from repro.analysis.stats import paired_difference
+
+        world = rng.normal(scale=10.0, size=50)
+        a = world + rng.normal(scale=0.1, size=50)
+        b = world + rng.normal(scale=0.1, size=50)
+        assert paired_difference(a, b)["significant"] == 0.0
+
+    def test_validation(self):
+        from repro.analysis.stats import paired_difference
+        import numpy as np
+
+        with pytest.raises(ConfigurationError):
+            paired_difference(np.array([1.0]), np.array([1.0, 2.0]))

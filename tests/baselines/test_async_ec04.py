@@ -1,0 +1,64 @@
+"""Tests for the prior-algorithm baseline (EC'04 under round robin)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.async_ec04 import AsyncEC04Strategy
+from repro.baselines.trivial import TrivialStrategy
+from repro.sim.runner import run_trials
+from repro.world.generators import planted_instance
+
+
+def needle_factory(n):
+    """m = n with a single good object — the collaboration regime."""
+    return lambda rng: planted_instance(
+        n=n, m=n, beta=1.0 / n, alpha=0.9, rng=rng
+    )
+
+
+class TestConstruction:
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            AsyncEC04Strategy(explore_probability=0.0)
+        with pytest.raises(ValueError):
+            AsyncEC04Strategy(explore_probability=1.5)
+
+
+class TestBehaviour:
+    def test_terminates(self):
+        res = run_trials(
+            needle_factory(128), AsyncEC04Strategy, n_trials=8, seed=3
+        )
+        assert res.success_rate() == 1.0
+
+    def test_collaboration_beats_trivial_on_needle(self):
+        n = 128
+        asynch = run_trials(
+            needle_factory(n), AsyncEC04Strategy, n_trials=12, seed=9
+        ).mean("mean_individual_rounds")
+        trivial = run_trials(
+            needle_factory(n), TrivialStrategy, n_trials=12, seed=9
+        ).mean("mean_individual_rounds")
+        assert asynch < trivial / 3
+
+    def test_cost_grows_with_n_on_needle(self):
+        small = run_trials(
+            needle_factory(64), AsyncEC04Strategy, n_trials=16, seed=11
+        ).mean("mean_individual_rounds")
+        large = run_trials(
+            needle_factory(1024), AsyncEC04Strategy, n_trials=16, seed=11
+        ).mean("mean_individual_rounds")
+        assert large > small
+
+    def test_pure_exploration_matches_trivial_shape(self):
+        """explore_probability=1 degenerates to the trivial baseline."""
+        res = run_trials(
+            lambda rng: planted_instance(
+                n=64, m=64, beta=1 / 8, alpha=1.0, rng=rng
+            ),
+            lambda: AsyncEC04Strategy(explore_probability=1.0),
+            n_trials=16,
+            seed=13,
+        )
+        mean = res.mean("mean_individual_probes")
+        assert 6.0 < mean < 10.0

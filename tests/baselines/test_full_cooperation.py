@@ -1,0 +1,69 @@
+"""Tests for the idealized full-cooperation baseline."""
+
+import numpy as np
+
+from repro.baselines.full_cooperation import FullCooperationStrategy
+from repro.lowerbounds.urn import thm1_individual_lower_bound
+from repro.sim.engine import SynchronousEngine
+from repro.sim.runner import run_trials
+from repro.world.generators import planted_instance
+
+
+def run_once(n=32, m=64, beta=1 / 16, alpha=1.0, seed=3):
+    inst = planted_instance(
+        n=n, m=m, beta=beta, alpha=alpha, rng=np.random.default_rng(seed)
+    )
+    engine = SynchronousEngine(
+        inst,
+        FullCooperationStrategy(),
+        rng=np.random.default_rng(seed + 1),
+    )
+    return inst, engine, engine.run()
+
+
+class TestNoDuplicateWork:
+    def test_probes_are_distinct_until_success(self):
+        inst, engine, metrics = run_once()
+        # reconstruct probes: total probes <= m + n (sweep + follow round)
+        total = int(metrics.probes.sum())
+        assert total <= inst.m + inst.n
+
+    def test_everyone_satisfied(self):
+        _inst, _engine, metrics = run_once()
+        assert metrics.all_honest_satisfied
+
+    def test_followers_pay_one_extra_round(self):
+        _inst, _engine, metrics = run_once()
+        sat = metrics.satisfied_round[metrics.honest_mask]
+        assert sat.max() - sat.min() <= 1
+
+
+class TestMatchesTheorem1:
+    def test_tracks_exact_bound(self):
+        n, m, alpha, beta = 64, 64, 0.5, 1 / 16
+        res = run_trials(
+            lambda rng: planted_instance(
+                n=n, m=m, beta=beta, alpha=alpha, rng=rng
+            ),
+            FullCooperationStrategy,
+            n_trials=32,
+            seed=17,
+        )
+        bound = thm1_individual_lower_bound(n, m, alpha, beta)
+        measured = res.mean("mean_individual_rounds")
+        assert bound <= measured <= bound + 2.5
+
+    def test_never_beats_the_lower_bound(self):
+        """The bound is a true lower bound: even perfect cooperation
+        cannot dip below it (modulo the integer-rounds floor of 1)."""
+        for n in (16, 64):
+            res = run_trials(
+                lambda rng, n=n: planted_instance(
+                    n=n, m=n, beta=1 / 8, alpha=1.0, rng=rng
+                ),
+                FullCooperationStrategy,
+                n_trials=16,
+                seed=19,
+            )
+            bound = thm1_individual_lower_bound(n, n, 1.0, 1 / 8)
+            assert res.mean("mean_individual_rounds") >= min(1.0, bound)

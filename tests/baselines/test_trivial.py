@@ -1,0 +1,48 @@
+"""Tests for the trivial baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.trivial import TrivialStrategy
+from repro.sim.runner import run_trials
+from repro.world.generators import planted_instance, valued_instance
+from repro.sim.engine import SynchronousEngine
+
+
+class TestTrivial:
+    def test_mean_cost_near_one_over_beta(self):
+        beta = 1 / 8
+        res = run_trials(
+            lambda rng: planted_instance(
+                n=64, m=64, beta=beta, alpha=1.0, rng=rng
+            ),
+            TrivialStrategy,
+            n_trials=24,
+            seed=5,
+        )
+        mean = res.mean("mean_individual_probes")
+        # geometric mean 8; generous band for 24 trials x 64 players
+        assert 6.0 < mean < 10.0
+
+    def test_ignores_billboard(self):
+        """Identical probe stream regardless of what is on the board —
+        demonstrated by the strategy never reading votes: cost does not
+        improve when other players have already found the good object."""
+        res = run_trials(
+            lambda rng: planted_instance(
+                n=64, m=64, beta=1 / 16, alpha=1.0, rng=rng
+            ),
+            TrivialStrategy,
+            n_trials=16,
+            seed=7,
+        )
+        # late finishers pay full geometric cost: p99 well above the mean
+        key = "max_individual_rounds"
+        assert res.mean(key) > 2 * res.mean("mean_individual_rounds") / 2
+
+    def test_requires_local_testing(self):
+        inst = valued_instance(
+            n=8, m=8, beta=0.25, alpha=1.0, rng=np.random.default_rng(0)
+        )
+        with pytest.raises(ValueError):
+            SynchronousEngine(inst, TrivialStrategy()).run()

@@ -1,0 +1,185 @@
+"""Tests for the append-only billboard."""
+
+import numpy as np
+import pytest
+
+from repro.billboard.board import Billboard
+from repro.billboard.post import PostKind
+from repro.errors import InvalidPostError, TamperError
+
+
+class TestAppend:
+    def test_append_assigns_sequential_seq(self, board):
+        p0 = board.append(0, 1, 2, 0.0, PostKind.REPORT)
+        p1 = board.append(0, 2, 3, 1.0, PostKind.VOTE)
+        assert (p0.seq, p1.seq) == (0, 1)
+
+    def test_append_stamps_round(self, board):
+        post = board.append(5, 0, 0, 0.0, PostKind.REPORT)
+        assert post.round_no == 5
+        assert board.last_round == 5
+
+    def test_rejects_unknown_player(self, board):
+        with pytest.raises(InvalidPostError):
+            board.append(0, 8, 0, 0.0, PostKind.REPORT)
+
+    def test_rejects_negative_player(self, board):
+        with pytest.raises(InvalidPostError):
+            board.append(0, -1, 0, 0.0, PostKind.REPORT)
+
+    def test_rejects_unknown_object(self, board):
+        with pytest.raises(InvalidPostError):
+            board.append(0, 0, 16, 0.0, PostKind.REPORT)
+
+    def test_rejects_negative_round(self, board):
+        with pytest.raises(InvalidPostError):
+            board.append(-1, 0, 0, 0.0, PostKind.REPORT)
+
+    def test_append_only_rounds_must_not_decrease(self, board):
+        board.append(4, 0, 0, 0.0, PostKind.REPORT)
+        with pytest.raises(TamperError):
+            board.append(3, 0, 0, 0.0, PostKind.REPORT)
+
+    def test_same_round_multiple_posts_allowed(self, board):
+        board.append(2, 0, 0, 0.0, PostKind.REPORT)
+        board.append(2, 1, 1, 0.0, PostKind.REPORT)
+        assert len(board) == 2
+
+
+class TestReading:
+    def test_len_counts_all_posts(self, board):
+        for r in range(3):
+            board.append(r, r, r, 0.0, PostKind.REPORT)
+        assert len(board) == 3
+
+    def test_iteration_preserves_order(self, board):
+        board.append(0, 0, 1, 0.0, PostKind.REPORT)
+        board.append(1, 1, 2, 0.0, PostKind.VOTE)
+        seqs = [p.seq for p in board]
+        assert seqs == [0, 1]
+
+    def test_getitem_by_seq(self, board):
+        board.append(0, 3, 4, 0.5, PostKind.VOTE)
+        assert board[0].player == 3
+
+    def test_posts_filter_by_kind(self, board):
+        board.append(0, 0, 0, 0.0, PostKind.REPORT)
+        board.append(0, 1, 1, 1.0, PostKind.VOTE)
+        votes = board.posts(kind=PostKind.VOTE)
+        assert len(votes) == 1
+        assert votes[0].player == 1
+
+    def test_posts_filter_by_player(self, board):
+        board.append(0, 2, 0, 0.0, PostKind.REPORT)
+        board.append(0, 3, 1, 0.0, PostKind.REPORT)
+        assert len(board.posts(player=2)) == 1
+
+    def test_posts_before_round_excludes_current(self, board):
+        board.append(0, 0, 0, 1.0, PostKind.VOTE)
+        board.append(1, 1, 1, 1.0, PostKind.VOTE)
+        visible = board.posts(before_round=1)
+        assert [p.player for p in visible] == [0]
+
+    def test_empty_board_last_round(self, board):
+        assert board.last_round == -1
+
+
+class TestLedgerIntegration:
+    def test_vote_posts_feed_ledger(self, board):
+        board.append(0, 1, 5, 1.0, PostKind.VOTE)
+        votes = board.current_vote_array()
+        assert votes[1] == 5
+
+    def test_reports_do_not_feed_ledger(self, board):
+        board.append(0, 1, 5, 0.0, PostKind.REPORT)
+        assert board.current_vote_array()[1] == -1
+
+    def test_counts_in_window_passthrough(self, board):
+        board.append(0, 1, 5, 1.0, PostKind.VOTE)
+        board.append(3, 2, 5, 1.0, PostKind.VOTE)
+        counts = board.counts_in_window(0, 2)
+        assert counts[5] == 1
+
+    def test_objects_with_votes_passthrough(self, board):
+        board.append(0, 0, 7, 1.0, PostKind.VOTE)
+        board.append(1, 1, 3, 1.0, PostKind.VOTE)
+        assert np.array_equal(board.objects_with_votes(), [3, 7])
+
+
+class TestIntegrityChain:
+    def test_fresh_board_verifies(self, board):
+        board.verify_integrity()
+
+    def test_head_digest_changes_per_append(self, board):
+        d0 = board.head_digest
+        board.append(0, 0, 0, 0.0, PostKind.REPORT)
+        d1 = board.head_digest
+        board.append(0, 1, 1, 1.0, PostKind.VOTE)
+        assert len({d0, d1, board.head_digest}) == 3
+
+    def test_identical_histories_share_digests(self):
+        a = Billboard(4, 4)
+        b = Billboard(4, 4)
+        for board_ in (a, b):
+            board_.append(0, 1, 2, 1.0, PostKind.VOTE)
+            board_.append(1, 2, 3, 0.0, PostKind.REPORT)
+        assert a.head_digest == b.head_digest
+
+    def test_populated_board_verifies(self, board):
+        for r in range(5):
+            board.append(r, r % 8, r % 16, float(r % 2), PostKind.VOTE)
+        board.verify_integrity()
+
+    def test_mutated_post_detected(self, board):
+        from repro.billboard.post import Post
+
+        board.append(0, 1, 2, 1.0, PostKind.VOTE)
+        board.append(1, 2, 3, 1.0, PostKind.VOTE)
+        # simulate an out-of-API mutation of history
+        original = board._posts[0]
+        board._posts[0] = Post(
+            seq=original.seq,
+            round_no=original.round_no,
+            player=original.player,
+            object_id=9,  # changed
+            reported_value=original.reported_value,
+            kind=original.kind,
+        )
+        with pytest.raises(TamperError):
+            board.verify_integrity()
+
+    def test_reordered_posts_detected(self, board):
+        board.append(0, 1, 2, 1.0, PostKind.VOTE)
+        board.append(1, 2, 3, 1.0, PostKind.VOTE)
+        board._posts.reverse()
+        with pytest.raises(TamperError):
+            board.verify_integrity()
+
+    def test_deleted_post_detected(self, board):
+        board.append(0, 1, 2, 1.0, PostKind.VOTE)
+        board.append(1, 2, 3, 1.0, PostKind.VOTE)
+        del board._posts[0]
+        with pytest.raises(TamperError):
+            board.verify_integrity()
+
+    def test_full_run_board_verifies(self):
+        import numpy as np
+
+        from repro.adversaries.flood import FloodAdversary
+        from repro.core.distill import DistillStrategy
+        from repro.sim.engine import SynchronousEngine
+        from repro.world.generators import planted_instance
+
+        inst = planted_instance(
+            n=64, m=64, beta=1 / 8, alpha=0.5,
+            rng=np.random.default_rng(3),
+        )
+        engine = SynchronousEngine(
+            inst,
+            DistillStrategy(),
+            adversary=FloodAdversary(),
+            rng=np.random.default_rng(4),
+            adversary_rng=np.random.default_rng(5),
+        )
+        engine.run()
+        engine.board.verify_integrity()

@@ -1,0 +1,44 @@
+"""Tests for billboard post records."""
+
+import pytest
+
+from repro.billboard.post import Post, PostKind
+
+
+def make_post(**overrides):
+    defaults = dict(
+        seq=0,
+        round_no=3,
+        player=2,
+        object_id=7,
+        reported_value=1.0,
+        kind=PostKind.VOTE,
+    )
+    defaults.update(overrides)
+    return Post(**defaults)
+
+
+class TestPost:
+    def test_vote_flag_for_vote(self):
+        assert make_post(kind=PostKind.VOTE).is_vote
+
+    def test_vote_flag_for_report(self):
+        assert not make_post(kind=PostKind.REPORT).is_vote
+
+    def test_posts_are_immutable(self):
+        post = make_post()
+        with pytest.raises(AttributeError):
+            post.object_id = 5
+
+    def test_equality_is_structural(self):
+        assert make_post() == make_post()
+        assert make_post() != make_post(seq=1)
+
+    def test_str_mentions_player_and_object(self):
+        text = str(make_post())
+        assert "player=2" in text
+        assert "object=7" in text
+
+    def test_kind_enum_values(self):
+        assert PostKind.VOTE.value == "vote"
+        assert PostKind.REPORT.value == "report"

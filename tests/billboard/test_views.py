@@ -1,0 +1,84 @@
+"""Tests for horizon-limited billboard views."""
+
+import numpy as np
+
+from repro.billboard.board import Billboard
+from repro.billboard.post import PostKind
+from repro.billboard.views import BillboardView
+
+
+def fill(board):
+    board.append(0, 0, 1, 1.0, PostKind.VOTE)
+    board.append(1, 1, 2, 1.0, PostKind.VOTE)
+    board.append(2, 2, 3, 0.0, PostKind.REPORT)
+    board.append(2, 3, 1, 1.0, PostKind.VOTE)
+
+
+class TestHorizon:
+    def test_full_view_sees_everything(self, board):
+        fill(board)
+        view = BillboardView(board)
+        assert len(view.posts()) == 4
+
+    def test_horizon_excludes_current_round(self, board):
+        fill(board)
+        view = BillboardView(board, before_round=2)
+        assert len(view.posts()) == 2
+
+    def test_horizon_zero_sees_nothing(self, board):
+        fill(board)
+        view = BillboardView(board, before_round=0)
+        assert view.posts() == []
+        assert (view.current_vote_array() == -1).all()
+
+    def test_with_horizon_builds_new_view(self, board):
+        fill(board)
+        full = BillboardView(board)
+        narrowed = full.with_horizon(1)
+        assert len(narrowed.posts()) == 1
+        assert len(full.posts()) == 4
+
+    def test_dimensions_exposed(self, board):
+        view = BillboardView(board)
+        assert view.n_players == 8
+        assert view.n_objects == 16
+
+
+class TestQueries:
+    def test_vote_posts_filtered(self, board):
+        fill(board)
+        view = BillboardView(board)
+        assert all(p.is_vote for p in view.vote_posts())
+        assert len(view.vote_posts()) == 3
+
+    def test_current_votes_at_horizon(self, board):
+        fill(board)
+        view = BillboardView(board, before_round=1)
+        votes = view.current_vote_array()
+        assert votes[0] == 1
+        assert votes[1] == -1
+
+    def test_objects_with_votes_at_horizon(self, board):
+        fill(board)
+        view = BillboardView(board, before_round=2)
+        assert np.array_equal(view.objects_with_votes(), [1, 2])
+
+    def test_counts_window_clipped_to_horizon(self, board):
+        fill(board)
+        view = BillboardView(board, before_round=1)
+        counts = view.counts_in_window(0, 10)
+        assert counts.sum() == 1  # only round-0 votes visible
+
+    def test_counts_window_degenerate_after_clip(self, board):
+        fill(board)
+        view = BillboardView(board, before_round=1)
+        counts = view.counts_in_window(5, 10)
+        assert counts.sum() == 0
+
+    def test_cumulative_counts_respect_horizon(self, board):
+        fill(board)
+        partial = BillboardView(board, before_round=2).cumulative_vote_counts()
+        full = BillboardView(board).cumulative_vote_counts()
+        assert partial.sum() == 2
+        assert full.sum() == 3
+        assert full[1] == 2  # players 0 and 3 both voted object 1

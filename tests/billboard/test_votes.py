@@ -1,0 +1,180 @@
+"""Tests for reader-side vote accounting (the VoteLedger)."""
+
+import numpy as np
+import pytest
+
+from repro.billboard.post import Post, PostKind
+from repro.billboard.votes import VoteLedger, VoteMode
+from repro.errors import ConfigurationError
+
+
+def vote(ledger, round_no, player, obj):
+    post = Post(
+        seq=0,
+        round_no=round_no,
+        player=player,
+        object_id=obj,
+        reported_value=1.0,
+        kind=PostKind.VOTE,
+    )
+    return ledger.record(post)
+
+
+@pytest.fixture
+def single():
+    return VoteLedger(n_players=6, n_objects=10, mode=VoteMode.SINGLE)
+
+
+@pytest.fixture
+def multi():
+    return VoteLedger(
+        n_players=6, n_objects=10, mode=VoteMode.MULTI, max_votes_per_player=2
+    )
+
+
+@pytest.fixture
+def mutable():
+    return VoteLedger(n_players=6, n_objects=10, mode=VoteMode.MUTABLE)
+
+
+class TestConstruction:
+    def test_rejects_zero_players(self):
+        with pytest.raises(ConfigurationError):
+            VoteLedger(0, 5)
+
+    def test_rejects_zero_objects(self):
+        with pytest.raises(ConfigurationError):
+            VoteLedger(5, 0)
+
+    def test_rejects_zero_vote_cap(self):
+        with pytest.raises(ConfigurationError):
+            VoteLedger(5, 5, mode=VoteMode.MULTI, max_votes_per_player=0)
+
+    def test_single_mode_forces_cap_one(self):
+        ledger = VoteLedger(
+            5, 5, mode=VoteMode.SINGLE, max_votes_per_player=7
+        )
+        assert ledger.max_votes_per_player == 1
+
+
+class TestSingleMode:
+    def test_first_vote_is_effective(self, single):
+        assert vote(single, 0, 1, 3)
+
+    def test_second_vote_by_same_player_ignored(self, single):
+        vote(single, 0, 1, 3)
+        assert not vote(single, 1, 1, 4)
+        assert single.current_vote_array()[1] == 3
+
+    def test_one_vote_per_player_invariant(self, single):
+        for obj in range(5):
+            vote(single, obj, 2, obj)
+        assert single.votes_of(2) == (0,)
+        assert single.effective_vote_count == 1
+
+    def test_current_vote_defaults_minus_one(self, single):
+        assert (single.current_vote_array() == -1).all()
+
+    def test_objects_with_votes_sorted_unique(self, single):
+        vote(single, 0, 0, 7)
+        vote(single, 0, 1, 2)
+        vote(single, 1, 2, 7)
+        assert np.array_equal(single.objects_with_votes(), [2, 7])
+
+
+class TestMultiMode:
+    def test_up_to_f_votes_count(self, multi):
+        assert vote(multi, 0, 1, 3)
+        assert vote(multi, 1, 1, 4)
+        assert not vote(multi, 2, 1, 5)
+        assert multi.votes_of(1) == (3, 4)
+
+    def test_duplicate_object_vote_ignored(self, multi):
+        vote(multi, 0, 1, 3)
+        assert not vote(multi, 1, 1, 3)
+        assert multi.votes_of(1) == (3,)
+
+    def test_advice_target_is_first_vote(self, multi):
+        vote(multi, 0, 1, 3)
+        vote(multi, 1, 1, 4)
+        assert multi.current_vote_array()[1] == 3
+
+    def test_budget_accounting(self, multi):
+        vote(multi, 0, 1, 3)
+        vote(multi, 0, 1, 4)
+        vote(multi, 0, 2, 5)
+        assert multi.votes_cast_by(np.array([1, 2])) == 3
+
+
+class TestMutableMode:
+    def test_latest_vote_is_current(self, mutable):
+        vote(mutable, 0, 1, 3)
+        vote(mutable, 1, 1, 4)
+        assert mutable.current_vote_array()[1] == 4
+
+    def test_repeat_of_same_object_is_noop(self, mutable):
+        vote(mutable, 0, 1, 3)
+        assert not vote(mutable, 1, 1, 3)
+
+    def test_switch_back_is_effective(self, mutable):
+        vote(mutable, 0, 1, 3)
+        vote(mutable, 1, 1, 4)
+        assert vote(mutable, 2, 1, 3)
+        assert mutable.current_vote_array()[1] == 3
+
+    def test_window_counts_last_switch_only(self, mutable):
+        vote(mutable, 0, 1, 3)
+        vote(mutable, 1, 1, 4)
+        counts = mutable.counts_in_window(0, 2)
+        assert counts[3] == 0
+        assert counts[4] == 1
+        assert counts.sum() == 1
+
+
+class TestWindows:
+    def test_window_bounds_are_half_open(self, single):
+        vote(single, 0, 0, 1)
+        vote(single, 1, 1, 1)
+        vote(single, 2, 2, 1)
+        assert single.counts_in_window(1, 2)[1] == 1
+
+    def test_negative_window_rejected(self, single):
+        with pytest.raises(ConfigurationError):
+            single.counts_in_window(3, 2)
+
+    def test_empty_window_all_zero(self, single):
+        vote(single, 0, 0, 1)
+        assert single.counts_in_window(5, 9).sum() == 0
+
+    def test_window_additivity(self, single):
+        for r, (p, o) in enumerate([(0, 1), (1, 1), (2, 2), (3, 2), (4, 1)]):
+            vote(single, r, p, o)
+        whole = single.counts_in_window(0, 5)
+        split = single.counts_in_window(0, 2) + single.counts_in_window(2, 5)
+        assert np.array_equal(whole, split)
+
+
+class TestHorizons:
+    def test_current_votes_respect_horizon(self, single):
+        vote(single, 0, 0, 1)
+        vote(single, 3, 1, 2)
+        asof = single.current_vote_array(before_round=3)
+        assert asof[0] == 1
+        assert asof[1] == -1
+
+    def test_objects_with_votes_respect_horizon(self, single):
+        vote(single, 0, 0, 5)
+        vote(single, 4, 1, 6)
+        assert np.array_equal(single.objects_with_votes(before_round=1), [5])
+
+    def test_mutable_horizon_gives_vote_at_that_time(self, mutable):
+        vote(mutable, 0, 1, 3)
+        vote(mutable, 5, 1, 4)
+        assert mutable.current_vote_array(before_round=5)[1] == 3
+        assert mutable.current_vote_array(before_round=6)[1] == 4
+
+    def test_multi_horizon_first_vote(self, multi):
+        vote(multi, 0, 1, 3)
+        vote(multi, 2, 1, 4)
+        assert multi.current_vote_array(before_round=1)[1] == 3
+        assert multi.current_vote_array(before_round=3)[1] == 3

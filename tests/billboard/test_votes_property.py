@@ -1,0 +1,110 @@
+"""Property-based tests for the VoteLedger (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.billboard.post import Post, PostKind
+from repro.billboard.votes import VoteLedger, VoteMode
+
+N_PLAYERS = 8
+N_OBJECTS = 12
+
+# A vote stream: (player, object) pairs posted in consecutive rounds.
+vote_streams = st.lists(
+    st.tuples(
+        st.integers(0, N_PLAYERS - 1), st.integers(0, N_OBJECTS - 1)
+    ),
+    max_size=60,
+)
+
+
+def replay(mode, stream, f=2):
+    ledger = VoteLedger(
+        N_PLAYERS, N_OBJECTS, mode=mode, max_votes_per_player=f
+    )
+    for round_no, (player, obj) in enumerate(stream):
+        ledger.record(
+            Post(
+                seq=round_no,
+                round_no=round_no,
+                player=player,
+                object_id=obj,
+                reported_value=1.0,
+                kind=PostKind.VOTE,
+            )
+        )
+    return ledger
+
+
+@given(vote_streams)
+@settings(max_examples=80, deadline=None)
+def test_single_mode_at_most_one_vote_per_player(stream):
+    ledger = replay(VoteMode.SINGLE, stream)
+    for player in range(N_PLAYERS):
+        assert len(ledger.votes_of(player)) <= 1
+
+
+@given(vote_streams)
+@settings(max_examples=80, deadline=None)
+def test_single_mode_first_vote_wins(stream):
+    ledger = replay(VoteMode.SINGLE, stream)
+    first_by_player = {}
+    for player, obj in stream:
+        first_by_player.setdefault(player, obj)
+    votes = ledger.current_vote_array()
+    for player in range(N_PLAYERS):
+        expected = first_by_player.get(player, -1)
+        assert votes[player] == expected
+
+
+@given(vote_streams, st.integers(1, 4))
+@settings(max_examples=80, deadline=None)
+def test_multi_mode_cap_and_distinctness(stream, f):
+    ledger = replay(VoteMode.MULTI, stream, f=f)
+    for player in range(N_PLAYERS):
+        targets = ledger.votes_of(player)
+        assert len(targets) <= f
+        assert len(set(targets)) == len(targets)
+
+
+@given(vote_streams)
+@settings(max_examples=80, deadline=None)
+def test_mutable_mode_current_is_last_posted(stream):
+    ledger = replay(VoteMode.MUTABLE, stream)
+    last_by_player = {}
+    for player, obj in stream:
+        last_by_player[player] = obj
+    votes = ledger.current_vote_array()
+    for player in range(N_PLAYERS):
+        assert votes[player] == last_by_player.get(player, -1)
+
+
+@given(vote_streams, st.integers(0, 30), st.integers(0, 30))
+@settings(max_examples=80, deadline=None)
+def test_window_counts_are_additive(stream, a, b):
+    lo, hi = sorted((a, b))
+    ledger = replay(VoteMode.SINGLE, stream)
+    whole = ledger.counts_in_window(0, 61)
+    left = ledger.counts_in_window(0, lo)
+    mid = ledger.counts_in_window(lo, hi)
+    right = ledger.counts_in_window(hi, 61)
+    assert np.array_equal(whole, left + mid + right)
+
+
+@given(vote_streams)
+@settings(max_examples=80, deadline=None)
+def test_total_counts_equal_effective_votes(stream):
+    ledger = replay(VoteMode.SINGLE, stream)
+    counts = ledger.counts_in_window(0, len(stream) + 1)
+    assert counts.sum() == ledger.effective_vote_count
+
+
+@given(vote_streams)
+@settings(max_examples=80, deadline=None)
+def test_objects_with_votes_matches_counts(stream):
+    ledger = replay(VoteMode.SINGLE, stream)
+    counts = ledger.counts_in_window(0, len(stream) + 1)
+    assert np.array_equal(
+        ledger.objects_with_votes(), np.flatnonzero(counts > 0)
+    )

@@ -1,0 +1,34 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.billboard.board import Billboard
+from repro.strategies.base import StrategyContext
+from repro.world.generators import planted_instance
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator; tests needing other seeds build their own."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_instance(rng):
+    """A small planted world: 32 players, 32 objects, 4 good, 24 honest."""
+    return planted_instance(n=32, m=32, beta=4 / 32, alpha=0.75, rng=rng)
+
+
+@pytest.fixture
+def board() -> Billboard:
+    return Billboard(n_players=8, n_objects=16)
+
+
+@pytest.fixture
+def ctx() -> StrategyContext:
+    return StrategyContext(
+        n=32, m=32, alpha=0.75, beta=0.125, good_threshold=0.5
+    )

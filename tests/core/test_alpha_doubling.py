@@ -1,0 +1,80 @@
+"""Tests for the Section 5.1 guessing-alpha wrapper."""
+
+import numpy as np
+
+from repro.adversaries.split_vote import SplitVoteAdversary
+from repro.core.alpha_doubling import AlphaDoublingStrategy
+from repro.sim.runner import run_trials
+from repro.strategies.base import StrategyContext
+from repro.world.generators import planted_instance
+
+
+class TestStagePlan:
+    def plan(self, n=256, beta=1 / 16):
+        strategy = AlphaDoublingStrategy()
+        ctx = StrategyContext(
+            n=n, m=n, alpha=0.37, beta=beta, good_threshold=0.5
+        )
+        return strategy.build_stages(ctx)
+
+    def test_guesses_halve(self):
+        stages = self.plan()
+        assert stages[0].strategy._alpha_override == 1.0
+        assert stages[1].strategy._alpha_override == 0.5
+        assert stages[2].strategy._alpha_override == 0.25
+
+    def test_covers_down_to_one_over_n(self):
+        stages = self.plan(n=256)
+        last_guess = stages[-1].strategy._alpha_override
+        assert last_guess <= 1 / 256
+
+    def test_budgets_grow_geometrically_in_tail(self):
+        stages = self.plan()
+        budgets = [s.budget_rounds for s in stages]
+        # the attempt-length floor can flatten early stages; the tail of
+        # the schedule must grow roughly x2 per stage
+        tail = budgets[-4:]
+        assert all(1.5 <= b / a for a, b in zip(tail, tail[1:]))
+
+    def test_budget_covers_one_attempt(self):
+        from repro.core.distill_hp import hp_parameters
+
+        stages = self.plan()
+        for i, stage in enumerate(stages):
+            guess = 2.0 ** (-i)
+            params = hp_parameters(256, alpha=guess)
+            attempt = params.attempt_rounds_estimate(256, 0.37, 1 / 16)
+            assert stage.budget_rounds >= attempt
+
+
+class TestBehaviour:
+    def test_succeeds_without_knowing_alpha(self):
+        for alpha in (0.8, 0.25):
+            res = run_trials(
+                lambda rng, alpha=alpha: planted_instance(
+                    n=128, m=128, beta=1 / 16, alpha=alpha, rng=rng
+                ),
+                AlphaDoublingStrategy,
+                make_adversary=SplitVoteAdversary,
+                n_trials=8,
+                seed=5,
+            )
+            assert res.success_rate() == 1.0, f"alpha={alpha}"
+
+    def test_wrapper_never_reads_true_alpha(self):
+        """The wrapper's stage plan is identical whatever the instance's
+        true alpha is (it only depends on n and beta)."""
+        strategy = AlphaDoublingStrategy()
+        plans = []
+        for alpha in (0.9, 0.1):
+            ctx = StrategyContext(
+                n=128, m=128, alpha=alpha, beta=1 / 16, good_threshold=0.5
+            )
+            stages = strategy.build_stages(ctx)
+            plans.append(
+                [
+                    (s.strategy._alpha_override, s.budget_rounds)
+                    for s in stages
+                ]
+            )
+        assert plans[0] == plans[1]

@@ -1,0 +1,179 @@
+"""Behavioural tests for Algorithm DISTILL."""
+
+import numpy as np
+import pytest
+
+from repro.adversaries.flood import FloodAdversary
+from repro.adversaries.silent import SilentAdversary
+from repro.adversaries.split_vote import SplitVoteAdversary
+from repro.billboard.post import PostKind
+from repro.core.distill import DistillStrategy
+from repro.core.parameters import DistillParameters
+from repro.sim.engine import EngineConfig, SynchronousEngine
+from repro.sim.runner import run_trials
+from repro.world.generators import planted_instance, valued_instance
+
+
+def engine_for(n=64, m=64, beta=1 / 8, alpha=0.75, adversary=None,
+               world_seed=5, seed=6, **engine_kwargs):
+    inst = planted_instance(
+        n=n, m=m, beta=beta, alpha=alpha,
+        rng=np.random.default_rng(world_seed),
+    )
+    return inst, SynchronousEngine(
+        inst,
+        DistillStrategy(),
+        adversary=adversary,
+        rng=np.random.default_rng(seed),
+        adversary_rng=np.random.default_rng(seed + 1),
+        **engine_kwargs,
+    )
+
+
+class TestTermination:
+    def test_terminates_with_silent_adversary(self):
+        _inst, engine = engine_for(adversary=SilentAdversary())
+        metrics = engine.run()
+        assert metrics.all_honest_satisfied
+
+    def test_terminates_with_flood_adversary(self):
+        _inst, engine = engine_for(adversary=FloodAdversary(), alpha=0.3)
+        metrics = engine.run()
+        assert metrics.all_honest_satisfied
+
+    def test_terminates_with_split_vote_adversary(self):
+        _inst, engine = engine_for(adversary=SplitVoteAdversary(), alpha=0.3)
+        metrics = engine.run()
+        assert metrics.all_honest_satisfied
+
+    def test_single_good_object_found(self):
+        _inst, engine = engine_for(beta=1 / 64, alpha=0.5,
+                                   adversary=SplitVoteAdversary())
+        metrics = engine.run()
+        assert metrics.all_honest_satisfied
+
+    def test_alpha_one_world(self):
+        _inst, engine = engine_for(alpha=1.0)
+        assert engine.run().all_honest_satisfied
+
+    def test_tiny_world(self):
+        inst = planted_instance(
+            n=2, m=2, beta=0.5, alpha=1.0, rng=np.random.default_rng(0)
+        )
+        engine = SynchronousEngine(
+            inst, DistillStrategy(), rng=np.random.default_rng(1)
+        )
+        assert engine.run().all_honest_satisfied
+
+    def test_m_much_larger_than_n(self):
+        inst = planted_instance(
+            n=16, m=1024, beta=1 / 64, alpha=0.75,
+            rng=np.random.default_rng(2),
+        )
+        engine = SynchronousEngine(
+            inst, DistillStrategy(), rng=np.random.default_rng(3)
+        )
+        assert engine.run().all_honest_satisfied
+
+
+class TestProtocolInvariants:
+    def test_honest_players_vote_at_most_once(self):
+        inst, engine = engine_for()
+        engine.run()
+        for player in inst.honest_ids:
+            posts = engine.board.posts(
+                kind=PostKind.VOTE, player=int(player)
+            )
+            assert len(posts) <= 1
+
+    def test_honest_votes_are_good_objects(self):
+        inst, engine = engine_for(adversary=FloodAdversary())
+        engine.run()
+        for post in engine.board.vote_posts():
+            if inst.honest_mask[post.player]:
+                assert inst.space.good_mask[post.object_id]
+
+    def test_players_halt_after_voting(self):
+        inst, engine = engine_for()
+        metrics = engine.run()
+        honest = inst.honest_mask
+        assert np.array_equal(
+            metrics.halted_round[honest], metrics.satisfied_round[honest]
+        )
+
+    def test_probes_stop_at_halt(self):
+        inst, engine = engine_for()
+        metrics = engine.run()
+        honest = inst.honest_mask
+        # a player satisfied in round r probed at most r+1 times
+        assert (
+            metrics.probes[honest] <= metrics.satisfied_round[honest] + 1
+        ).all()
+
+    def test_info_reports_attempts(self):
+        _inst, engine = engine_for()
+        metrics = engine.run()
+        info = metrics.strategy_info
+        assert info["algorithm"] == "distill"
+        assert info["attempt_count"] >= 1
+        assert info["total_iterations"] >= 0
+
+    def test_candidate_sizes_non_increasing_within_attempt(self):
+        _inst, engine = engine_for(adversary=SplitVoteAdversary(), alpha=0.4)
+        metrics = engine.run()
+        for attempt in metrics.strategy_info["attempts"]:
+            sizes = attempt["c_sizes"]
+            # skip the C0 entry; iteration entries must be non-increasing
+            assert all(a >= b for a, b in zip(sizes, sizes[1:]))
+
+
+class TestConfiguration:
+    def test_requires_local_testing(self):
+        inst = valued_instance(
+            n=16, m=16, beta=0.25, alpha=0.75,
+            rng=np.random.default_rng(0),
+        )
+        engine = SynchronousEngine(inst, DistillStrategy())
+        with pytest.raises(ValueError):
+            engine.run()
+
+    def test_custom_parameters_change_schedule(self):
+        _inst, e1 = engine_for(seed=9)
+        _inst, e2 = engine_for(seed=9)
+        e2.strategy = DistillStrategy(DistillParameters(k1=1.0, k2=4.0))
+        m1, m2 = e1.run(), e2.run()
+        assert m1.strategy_info["k2"] != m2.strategy_info["k2"]
+
+
+class TestStatisticalBehaviour:
+    def test_near_constant_cost_when_mostly_honest(self):
+        """Corollary 5's regime: cost stays small as n doubles."""
+        costs = []
+        for n in (64, 256):
+            res = run_trials(
+                lambda rng, n=n: planted_instance(
+                    n=n, m=n, beta=1 / 16, alpha=0.95, rng=rng
+                ),
+                DistillStrategy,
+                make_adversary=SplitVoteAdversary,
+                n_trials=12,
+                seed=21,
+            )
+            costs.append(res.mean("mean_individual_probes"))
+        assert costs[1] <= 3.0 * costs[0]
+
+    def test_adversary_costs_more_than_silence(self):
+        def run_with(adv_factory, seed):
+            return run_trials(
+                lambda rng: planted_instance(
+                    n=128, m=128, beta=1 / 16, alpha=0.4, rng=rng
+                ),
+                DistillStrategy,
+                make_adversary=adv_factory,
+                n_trials=12,
+                seed=seed,
+            ).mean("mean_individual_rounds")
+
+        silent = run_with(SilentAdversary, 31)
+        flooded = run_with(FloodAdversary, 31)
+        assert flooded > silent

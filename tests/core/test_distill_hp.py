@@ -1,0 +1,74 @@
+"""Tests for DISTILL^HP (Theorem 11 recipe)."""
+
+import numpy as np
+import pytest
+
+from repro.adversaries.flood import FloodAdversary
+from repro.core.distill_hp import DistillHPStrategy, hp_parameters
+from repro.sim.engine import SynchronousEngine
+from repro.sim.runner import run_trials
+from repro.world.generators import planted_instance
+
+
+class TestRecipe:
+    def test_constants_scale_with_log_n(self):
+        small = hp_parameters(2 ** 6)
+        large = hp_parameters(2 ** 12)
+        assert large.k1 == pytest.approx(2 * small.k1)
+        assert large.k2 == pytest.approx(2 * small.k2)
+
+    def test_floors_protect_tiny_n(self):
+        params = hp_parameters(2)
+        assert params.k1 >= 2.0
+        assert params.k2 >= 8.0
+
+    def test_scale_multiplies(self):
+        assert hp_parameters(256, scale=3.0).k1 == pytest.approx(24.0)
+
+    def test_overrides_carried(self):
+        params = hp_parameters(256, alpha=0.25, beta=0.1)
+        assert params.alpha == 0.25
+        assert params.beta == 0.1
+
+
+class TestStrategy:
+    def test_params_resolved_at_reset(self):
+        inst = planted_instance(
+            n=256, m=256, beta=1 / 16, alpha=0.5,
+            rng=np.random.default_rng(0),
+        )
+        strategy = DistillHPStrategy()
+        engine = SynchronousEngine(
+            inst, strategy, rng=np.random.default_rng(1)
+        )
+        metrics = engine.run()
+        assert metrics.strategy_info["k1"] == pytest.approx(8.0)
+        assert metrics.strategy_info["k2"] == pytest.approx(16.0)
+
+    def test_terminates_under_flood(self):
+        res = run_trials(
+            lambda rng: planted_instance(
+                n=128, m=128, beta=1 / 16, alpha=0.4, rng=rng
+            ),
+            DistillHPStrategy,
+            make_adversary=FloodAdversary,
+            n_trials=10,
+            seed=2,
+        )
+        assert res.success_rate() == 1.0
+
+    def test_last_player_tail_is_tight(self):
+        """HP constants make the max termination round concentrate:
+        the worst trial is within a small factor of the median trial."""
+        res = run_trials(
+            lambda rng: planted_instance(
+                n=256, m=256, beta=1 / 16, alpha=0.6, rng=rng
+            ),
+            DistillHPStrategy,
+            make_adversary=FloodAdversary,
+            n_trials=16,
+            seed=3,
+        )
+        worst = res.quantile("max_individual_rounds", 1.0)
+        median = res.quantile("max_individual_rounds", 0.5)
+        assert worst <= 4.0 * median

@@ -1,0 +1,97 @@
+"""Tests for the Theorem 12 cost-class algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.adversaries.flood import FloodAdversary
+from repro.core.multicost import MulticostStrategy, run_multicost
+from repro.errors import ConfigurationError
+from repro.strategies.base import StrategyContext
+from repro.world.generators import cost_class_instance
+
+
+def make_instance(good_class=1, n=64, sizes=(16, 16, 16), seed=0):
+    return cost_class_instance(
+        n=n,
+        class_sizes=list(sizes),
+        good_class=good_class,
+        alpha=0.75,
+        rng=np.random.default_rng(seed),
+    )
+
+
+class TestStrategyConstruction:
+    def test_rejects_empty_class_list(self):
+        with pytest.raises(ConfigurationError):
+            MulticostStrategy([])
+
+    def test_skips_empty_classes(self):
+        strategy = MulticostStrategy(
+            [np.array([0, 1]), np.array([], dtype=np.int64), np.array([2])]
+        )
+        ctx = StrategyContext(16, 3, 0.75, 0.5, good_threshold=0.5)
+        stages = strategy.build_stages(ctx)
+        assert len(stages) == 2
+
+    def test_all_empty_rejected(self):
+        strategy = MulticostStrategy([np.array([], dtype=np.int64)])
+        ctx = StrategyContext(16, 1, 0.75, 0.5, good_threshold=0.5)
+        with pytest.raises(ConfigurationError):
+            strategy.build_stages(ctx)
+
+    def test_stage_universes_are_the_classes(self):
+        classes = [np.array([0, 1]), np.array([2, 3])]
+        strategy = MulticostStrategy(classes)
+        ctx = StrategyContext(16, 4, 0.75, 0.5, good_threshold=0.5)
+        stages = strategy.build_stages(ctx)
+        assert np.array_equal(stages[0].strategy._universe, [0, 1])
+        assert np.array_equal(stages[1].strategy._universe, [2, 3])
+
+
+class TestRunMulticost:
+    def test_everyone_finds_good(self):
+        inst = make_instance()
+        out = run_multicost(inst, rng=np.random.default_rng(1))
+        assert out.metrics.all_honest_satisfied
+
+    def test_q0_detected(self):
+        inst = make_instance(good_class=2)
+        out = run_multicost(inst, rng=np.random.default_rng(1))
+        assert out.q0 == 4.0
+
+    def test_cheap_good_means_cheap_search(self):
+        cheap = run_multicost(
+            make_instance(good_class=0), rng=np.random.default_rng(2)
+        )
+        dear = run_multicost(
+            make_instance(good_class=2), rng=np.random.default_rng(2)
+        )
+        assert cheap.mean_payment < dear.mean_payment
+
+    def test_payment_fields_consistent(self):
+        out = run_multicost(
+            make_instance(), rng=np.random.default_rng(3)
+        )
+        assert out.max_payment >= out.mean_payment
+        assert out.payment_over_bound == pytest.approx(
+            out.mean_payment / out.bound_payment
+        )
+
+    def test_works_under_flood(self):
+        inst = make_instance(good_class=1, seed=5)
+        out = run_multicost(
+            inst,
+            rng=np.random.default_rng(6),
+            adversary=FloodAdversary(),
+            adversary_rng=np.random.default_rng(7),
+        )
+        assert out.metrics.all_honest_satisfied
+
+    def test_never_probes_beyond_good_class_plus_budget(self):
+        """Cheap-first ordering: with the good object in class 0 the run
+        should end well before the expensive classes' budgets."""
+        inst = make_instance(good_class=0, sizes=(16, 16, 16))
+        out = run_multicost(inst, rng=np.random.default_rng(8))
+        # nobody paid for an expensive probe after the class-0 success:
+        # max single-object cost is 4, so payments stay modest
+        assert out.max_payment < 64

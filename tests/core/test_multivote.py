@@ -1,0 +1,95 @@
+"""Tests for the Section 4.1 multi-vote / erroneous-vote extension."""
+
+import numpy as np
+import pytest
+
+from repro.adversaries.split_vote import SplitVoteAdversary
+from repro.billboard.post import PostKind
+from repro.billboard.votes import VoteMode
+from repro.core.multivote import MultiVoteDistill
+from repro.errors import ConfigurationError
+from repro.sim.engine import EngineConfig, SynchronousEngine
+from repro.world.generators import planted_instance
+
+
+def run_once(f=3, error_rate=0.1, alpha=0.75, seed=7):
+    inst = planted_instance(
+        n=64, m=64, beta=1 / 8, alpha=alpha,
+        rng=np.random.default_rng(seed),
+    )
+    engine = SynchronousEngine(
+        inst,
+        MultiVoteDistill(f=f, error_rate=error_rate),
+        adversary=SplitVoteAdversary(votes_per_identity=f),
+        rng=np.random.default_rng(seed + 1),
+        adversary_rng=np.random.default_rng(seed + 2),
+        config=EngineConfig(
+            vote_mode=VoteMode.MULTI, max_votes_per_player=f
+        ),
+    )
+    return inst, engine, engine.run()
+
+
+class TestValidation:
+    def test_rejects_f_below_one(self):
+        with pytest.raises(ConfigurationError):
+            MultiVoteDistill(f=0)
+
+    def test_rejects_bad_error_rate(self):
+        with pytest.raises(ConfigurationError):
+            MultiVoteDistill(f=2, error_rate=1.0)
+
+    def test_errors_need_spare_vote(self):
+        with pytest.raises(ConfigurationError):
+            MultiVoteDistill(f=1, error_rate=0.1)
+
+
+class TestBehaviour:
+    def test_run_succeeds_with_errors(self):
+        _inst, _engine, metrics = run_once()
+        assert metrics.all_honest_satisfied
+
+    def test_erroneous_votes_do_not_halt(self):
+        inst, engine, metrics = run_once(error_rate=0.3, seed=13)
+        honest = inst.honest_mask
+        # every honest player eventually halted on a genuinely good probe
+        assert (metrics.satisfied_round[honest] >= 0).all()
+        # and some erroneous votes exist on the board (rate 0.3 makes this
+        # overwhelmingly likely): a vote for a bad object by an honest player
+        bad_honest_votes = [
+            p
+            for p in engine.board.vote_posts()
+            if inst.honest_mask[p.player]
+            and not inst.space.good_mask[p.object_id]
+        ]
+        assert bad_honest_votes
+
+    def test_honest_effective_votes_capped_at_f(self):
+        inst, engine, _metrics = run_once(f=2, error_rate=0.4, seed=17)
+        ledger = engine.board.ledger
+        for player in inst.honest_ids:
+            assert len(ledger.votes_of(int(player))) <= 2
+
+    def test_last_genuine_vote_still_effective(self):
+        """The f-1 cap on erroneous votes keeps one slot for the real
+        find, so every satisfied honest player's good object is among its
+        effective votes."""
+        inst, engine, metrics = run_once(f=2, error_rate=0.4, seed=19)
+        ledger = engine.board.ledger
+        for player in inst.honest_ids:
+            if metrics.satisfied_round[player] >= 0:
+                targets = ledger.votes_of(int(player))
+                assert any(
+                    inst.space.good_mask[obj] for obj in targets
+                ), f"player {player} has no effective good vote"
+
+    def test_zero_error_rate_is_plain_distill_behaviour(self):
+        inst, engine, metrics = run_once(f=1, error_rate=0.0, seed=23)
+        honest_votes = [
+            p
+            for p in engine.board.vote_posts()
+            if inst.honest_mask[p.player]
+        ]
+        assert all(
+            inst.space.good_mask[p.object_id] for p in honest_votes
+        )

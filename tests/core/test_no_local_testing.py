@@ -1,0 +1,84 @@
+"""Tests for the Theorem 13 no-local-testing variant."""
+
+import numpy as np
+
+from repro.adversaries.flood import FloodAdversary
+from repro.billboard.votes import VoteMode
+from repro.core.no_local_testing import NoLocalTestingDistill
+from repro.sim.engine import EngineConfig, SynchronousEngine
+from repro.world.generators import valued_instance
+
+
+def run_once(n=128, beta=1 / 16, alpha=0.6, seed=3, adversary=None):
+    inst = valued_instance(
+        n=n, m=n, beta=beta, alpha=alpha,
+        rng=np.random.default_rng(seed),
+    )
+    strategy = NoLocalTestingDistill()
+    engine = SynchronousEngine(
+        inst,
+        strategy,
+        adversary=adversary,
+        rng=np.random.default_rng(seed + 1),
+        adversary_rng=np.random.default_rng(seed + 2),
+        config=EngineConfig(vote_mode=VoteMode.MUTABLE),
+    )
+    return inst, strategy, engine, engine.run()
+
+
+class TestPrescribedLength:
+    def test_runs_exactly_prescribed_rounds(self):
+        _inst, strategy, _engine, metrics = run_once()
+        assert metrics.rounds == strategy.prescribed_rounds
+
+    def test_nobody_halts_early(self):
+        inst, _strategy, _engine, metrics = run_once()
+        assert (metrics.halted_round[inst.honest_mask] == -1).all()
+
+    def test_prescribed_rounds_scale_with_log_n(self):
+        _i, s_small, _e, _m = run_once(n=64)
+        _i, s_large, _e, _m = run_once(n=1024)
+        assert s_large.prescribed_rounds > s_small.prescribed_rounds
+        assert s_large.prescribed_rounds < 4 * s_small.prescribed_rounds
+
+
+class TestVotes:
+    def test_votes_are_best_so_far(self):
+        inst, _strategy, engine, _metrics = run_once(seed=11)
+        # per player, the sequence of reported vote values must increase
+        for player in inst.honest_ids:
+            values = [
+                p.reported_value
+                for p in engine.board.posts(player=int(player))
+                if p.is_vote
+            ]
+            assert values == sorted(values)
+            assert len(values) >= 1  # first probe is always a new best
+
+    def test_current_vote_is_highest_probed(self):
+        inst, _strategy, engine, _metrics = run_once(seed=13)
+        ledger = engine.board.ledger
+        votes = ledger.current_vote_array()
+        for player in inst.honest_ids:
+            vote_posts = [
+                p
+                for p in engine.board.posts(player=int(player))
+                if p.is_vote
+            ]
+            best = max(p.reported_value for p in vote_posts)
+            assert inst.space.values[votes[player]] == best
+
+
+class TestSuccess:
+    def test_everyone_holds_good_whp(self):
+        successes = 0
+        for seed in range(5):
+            inst, _s, _e, metrics = run_once(seed=100 + seed)
+            successes += metrics.all_honest_satisfied
+        assert successes >= 4
+
+    def test_works_under_flood(self):
+        _inst, _s, _e, metrics = run_once(
+            adversary=FloodAdversary(), seed=31
+        )
+        assert metrics.satisfied_fraction >= 0.95

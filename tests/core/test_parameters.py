@@ -1,0 +1,88 @@
+"""Tests for DISTILL parameter arithmetic."""
+
+import pytest
+
+from repro.core.parameters import DistillParameters, invocation_count
+from repro.errors import ConfigurationError
+
+
+class TestInvocationCount:
+    def test_fractional_rounds_up(self):
+        assert invocation_count(0.3) == 1
+        assert invocation_count(1.2) == 2
+
+    def test_exact_integers_preserved(self):
+        assert invocation_count(3.0) == 3
+
+    def test_minimum_one(self):
+        assert invocation_count(0.0001) == 1
+
+    def test_float_noise_does_not_bump(self):
+        # 0.1*3/0.1 style arithmetic must not produce ceil(3.0000000004)=4
+        assert invocation_count(3.0 + 5e-13) == 3
+
+    def test_rejects_nan_and_inf(self):
+        with pytest.raises(ConfigurationError):
+            invocation_count(float("inf"))
+        with pytest.raises(ConfigurationError):
+            invocation_count(float("nan"))
+
+
+class TestValidation:
+    def test_rejects_nonpositive_k(self):
+        with pytest.raises(ConfigurationError):
+            DistillParameters(k1=0)
+        with pytest.raises(ConfigurationError):
+            DistillParameters(k2=-1)
+
+    def test_rejects_alpha_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            DistillParameters(alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            DistillParameters(beta=1.5)
+
+
+class TestResolution:
+    def test_defaults_use_context(self):
+        params = DistillParameters()
+        assert params.resolved_alpha(0.7) == 0.7
+        assert params.resolved_beta(0.2) == 0.2
+
+    def test_overrides_win(self):
+        params = DistillParameters(alpha=0.25, beta=0.125)
+        assert params.resolved_alpha(0.7) == 0.25
+        assert params.resolved_beta(0.2) == 0.125
+
+
+class TestPhaseLengths:
+    def test_step11_formula(self):
+        params = DistillParameters(k1=4.0)
+        # k1/(alpha*beta*n) = 4/(0.5*0.25*8) = 4
+        assert params.step11_invocations(8, 0.5, 0.25) == 4
+
+    def test_step13_formula(self):
+        params = DistillParameters(k2=8.0)
+        assert params.step13_invocations(0.5) == 16
+
+    def test_iteration_formula(self):
+        params = DistillParameters()
+        assert params.iteration_invocations(0.3) == 4
+        assert params.iteration_invocations(1.0) == 1
+
+    def test_c0_threshold(self):
+        assert DistillParameters(k2=8.0).c0_vote_threshold == 2.0
+
+    def test_iteration_threshold(self):
+        assert DistillParameters.iteration_vote_threshold(100, 5) == 5.0
+
+    def test_iteration_threshold_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            DistillParameters.iteration_vote_threshold(100, 0)
+
+    def test_attempt_estimate_counts_all_phases(self):
+        params = DistillParameters(k1=4.0, k2=8.0)
+        est = params.attempt_rounds_estimate(
+            8, 0.5, 0.25, expected_iterations=2
+        )
+        # step11: 2*4=8, step13: 2*16=32, iterations: 2 * 2*2=8
+        assert est == 8 + 32 + 8

@@ -1,0 +1,83 @@
+"""Tests for the staged-strategy machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core.distill import DistillStrategy
+from repro.core.staged import Stage, StagedStrategy
+from repro.errors import ConfigurationError
+from repro.sim.engine import SynchronousEngine
+from repro.strategies.base import StrategyContext
+from repro.world.generators import planted_instance
+
+
+class TwoStage(StagedStrategy):
+    name = "two-stage"
+
+    def build_stages(self, ctx):
+        return [
+            Stage(DistillStrategy(), budget_rounds=4, label="first"),
+            Stage(DistillStrategy(), budget_rounds=100000, label="second"),
+        ]
+
+
+class NoStage(StagedStrategy):
+    name = "no-stage"
+
+    def build_stages(self, ctx):
+        return []
+
+
+class TestStageValidation:
+    def test_stage_needs_two_rounds(self):
+        with pytest.raises(ConfigurationError):
+            Stage(DistillStrategy(), budget_rounds=1)
+
+    def test_empty_stage_list_rejected(self):
+        inst = planted_instance(
+            n=8, m=8, beta=0.25, alpha=1.0, rng=np.random.default_rng(0)
+        )
+        engine = SynchronousEngine(
+            inst, NoStage(), rng=np.random.default_rng(1)
+        )
+        with pytest.raises(ConfigurationError):
+            engine.run()
+
+
+class TestStageSequencing:
+    def run_two_stage(self, beta=1 / 8):
+        inst = planted_instance(
+            n=16, m=16, beta=beta, alpha=1.0,
+            rng=np.random.default_rng(3),
+        )
+        strategy = TwoStage()
+        engine = SynchronousEngine(
+            inst, strategy, rng=np.random.default_rng(4)
+        )
+        return strategy, engine.run()
+
+    def test_run_completes_and_reports_stages(self):
+        strategy, metrics = self.run_two_stage()
+        assert metrics.all_honest_satisfied
+        info = metrics.strategy_info
+        assert info["stages_entered"] >= 1
+        assert info["stage_labels"][0] == "first"
+
+    def test_second_stage_rebased_to_boundary(self):
+        strategy, metrics = self.run_two_stage(beta=1 / 16)
+        if metrics.rounds > 4:  # run crossed into stage 2
+            inner = strategy._stages[1].strategy
+            assert inner.tracker.phase_start >= 4
+
+    def test_finished_after_all_stages(self):
+        class Shorty(StagedStrategy):
+            name = "shorty"
+
+            def build_stages(self, ctx):
+                return [Stage(DistillStrategy(), budget_rounds=2)]
+
+        strategy = Shorty()
+        ctx = StrategyContext(8, 8, 1.0, 0.25, good_threshold=0.5)
+        strategy.reset(ctx, np.random.default_rng(0))
+        assert not strategy.finished(0)
+        assert strategy.finished(2)

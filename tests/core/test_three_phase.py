@@ -1,0 +1,96 @@
+"""Tests for the Section 1.2 three-phase illustration."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.adversaries.concentrate import ConcentrateAdversary
+from repro.adversaries.flood import FloodAdversary
+from repro.core.three_phase import ThreePhaseStrategy
+from repro.sim.engine import EngineConfig, SynchronousEngine
+from repro.world.generators import planted_instance, valued_instance
+
+
+def run_once(n=256, seed=5, adversary=None):
+    sqrt_n = math.sqrt(n)
+    inst = planted_instance(
+        n=n, m=n, beta=1.0 / n, alpha=1.0 - sqrt_n / n,
+        rng=np.random.default_rng(seed),
+    )
+    strategy = ThreePhaseStrategy()
+    engine = SynchronousEngine(
+        inst,
+        strategy,
+        adversary=adversary,
+        rng=np.random.default_rng(seed + 1),
+        adversary_rng=np.random.default_rng(seed + 2),
+        config=EngineConfig(max_rounds=64, strict=False),
+    )
+    return inst, engine.run()
+
+
+class TestStructure:
+    def test_three_candidate_sets_logged(self):
+        # an adversary keeps |C2| > 1 so the run survives into phase 3
+        _inst, metrics = run_once(adversary=FloodAdversary())
+        assert len(metrics.strategy_info["candidate_sets"]) == 3
+
+    def test_early_finish_skips_phase_three(self):
+        # without an adversary C2 is usually {the good object}: everyone
+        # probes it in phase 2 and the engine stops before phase 3
+        _inst, metrics = run_once()
+        assert len(metrics.strategy_info["candidate_sets"]) <= 3
+
+    def test_c1_is_everything(self):
+        inst, metrics = run_once()
+        assert metrics.strategy_info["candidate_sizes"][0] == inst.m
+
+    def test_run_length_is_seven_rounds_max(self):
+        _inst, metrics = run_once()
+        assert metrics.rounds <= 7
+
+    def test_thresholds_match_paper(self):
+        _inst, metrics = run_once(n=1024)
+        th = metrics.strategy_info["thresholds"]
+        assert th[0] == 0.0
+        assert th[1] == 1.0
+        assert th[2] == pytest.approx(math.sqrt(1024) / 2)
+
+    def test_requires_local_testing(self):
+        inst = valued_instance(
+            n=16, m=16, beta=0.25, alpha=0.75,
+            rng=np.random.default_rng(0),
+        )
+        engine = SynchronousEngine(inst, ThreePhaseStrategy())
+        with pytest.raises(ValueError):
+            engine.run()
+
+
+class TestClaims:
+    def test_c2_bounded_under_flood(self):
+        hits = 0
+        for seed in range(6):
+            inst, metrics = run_once(
+                seed=200 + seed, adversary=FloodAdversary()
+            )
+            c2 = metrics.strategy_info["candidate_sizes"][1]
+            assert c2 <= math.sqrt(inst.n) + 2
+            good = int(inst.space.good_ids[0])
+            hits += good in metrics.strategy_info["candidate_sets"][1]
+        # P[i0 in C2] >= 1 - 1/e per the paper; 6 trials all missing has
+        # probability < (1/e)^... allow 1 miss at most out of caution
+        assert hits >= 4
+
+    def test_c3_bounded_under_concentration(self):
+        n = 256
+        adversary = ConcentrateAdversary(
+            n_targets=3, votes_each=math.ceil(math.sqrt(n) / 2)
+        )
+        _inst, metrics = run_once(n=n, seed=300, adversary=adversary)
+        assert metrics.strategy_info["candidate_sizes"][2] <= 3
+
+    def test_most_players_finish(self):
+        _inst, metrics = run_once(seed=400, adversary=FloodAdversary())
+        # the good object usually survives to C3 and gets swept
+        assert metrics.satisfied_fraction >= 0.5

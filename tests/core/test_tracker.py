@@ -1,0 +1,148 @@
+"""Tests for the DISTILL phase machine against hand-computed schedules."""
+
+import numpy as np
+import pytest
+
+from repro.billboard.board import Billboard
+from repro.billboard.post import PostKind
+from repro.billboard.views import BillboardView
+from repro.core.parameters import DistillParameters
+from repro.core.tracker import DistillPhase, DistillPhaseTracker
+from repro.strategies.base import StrategyContext
+
+
+def make_tracker(n=8, m=8, alpha=0.5, beta=0.25, k1=4.0, k2=8.0, **kwargs):
+    ctx = StrategyContext(n=n, m=m, alpha=alpha, beta=beta, good_threshold=0.5)
+    params = DistillParameters(k1=k1, k2=k2)
+    return DistillPhaseTracker(ctx, params, **kwargs), Billboard(n, m)
+
+
+class TestSchedule:
+    def test_initial_phase_is_step11(self):
+        tracker, _board = make_tracker()
+        assert tracker.phase is DistillPhase.STEP11
+        # k1/(alpha*beta*n) = 4/(0.5*0.25*8) = 4 invocations = 8 rounds
+        assert tracker.phase_len == 8
+        assert np.array_equal(tracker.pool, np.arange(8))
+
+    def test_no_transition_before_phase_end(self):
+        tracker, board = make_tracker()
+        view = BillboardView(board, before_round=7)
+        tracker.advance(7, view)
+        assert tracker.phase is DistillPhase.STEP11
+
+    def test_transition_to_step13_collects_s(self):
+        tracker, board = make_tracker()
+        board.append(3, 0, 5, 1.0, PostKind.VOTE)
+        board.append(5, 1, 2, 1.0, PostKind.VOTE)
+        tracker.advance(8, BillboardView(board, before_round=8))
+        assert tracker.phase is DistillPhase.STEP13
+        assert np.array_equal(tracker.pool, [2, 5])
+        # k2/alpha = 16 invocations = 32 rounds
+        assert tracker.phase_len == 32
+        assert tracker.phase_start == 8
+
+    def test_c0_threshold_filters(self):
+        tracker, board = make_tracker()
+        tracker.advance(8, BillboardView(board, before_round=8))
+        # During step 1.3 (rounds 8..39): object 5 gets 2 votes (>= k2/4),
+        # object 2 gets 1 (dropped).
+        board.append(10, 0, 5, 1.0, PostKind.VOTE)
+        board.append(11, 1, 5, 1.0, PostKind.VOTE)
+        board.append(12, 2, 2, 1.0, PostKind.VOTE)
+        tracker.advance(40, BillboardView(board, before_round=40))
+        assert tracker.phase is DistillPhase.ITERATION
+        assert np.array_equal(tracker.candidates, [5])
+        # iteration length: 2*ceil(1/alpha) = 4 rounds
+        assert tracker.phase_len == 4
+
+    def test_empty_c0_restarts_attempt(self):
+        tracker, board = make_tracker()
+        tracker.advance(8, BillboardView(board, before_round=8))
+        tracker.advance(40, BillboardView(board, before_round=40))
+        assert tracker.phase is DistillPhase.STEP11
+        assert tracker.phase_start == 40
+        assert tracker.diagnostics()["attempt_count"] == 2
+
+    def test_advice_parity_follows_phase_start(self):
+        tracker, _board = make_tracker()
+        assert not tracker.is_advice_round(0)
+        assert tracker.is_advice_round(1)
+        tracker.phase_start = 5
+        assert not tracker.is_advice_round(5)
+        assert tracker.is_advice_round(6)
+
+
+class TestIterations:
+    def prepared(self):
+        """Tracker inside Step 2 with candidates {3, 5} at round 40."""
+        tracker, board = make_tracker()
+        board.append(0, 0, 5, 1.0, PostKind.VOTE)
+        board.append(0, 1, 3, 1.0, PostKind.VOTE)
+        tracker.advance(8, BillboardView(board, before_round=8))
+        for r, player in ((9, 2), (10, 3)):
+            board.append(r, player, 5, 1.0, PostKind.VOTE)
+        for r, player in ((11, 4), (12, 5)):
+            board.append(r, player, 3, 1.0, PostKind.VOTE)
+        tracker.advance(40, BillboardView(board, before_round=40))
+        assert np.array_equal(tracker.candidates, [3, 5])
+        return tracker, board
+
+    def test_survival_needs_strictly_more_than_threshold(self):
+        tracker, board = self.prepared()
+        # threshold = n/(4*c) = 8/8 = 1: one vote is NOT enough, two are.
+        board.append(41, 6, 5, 1.0, PostKind.VOTE)
+        board.append(42, 7, 5, 1.0, PostKind.VOTE)
+        board.append(42, 6, 3, 1.0, PostKind.VOTE)  # ignored: 2nd vote of 6
+        tracker.advance(44, BillboardView(board, before_round=44))
+        assert np.array_equal(tracker.candidates, [5])
+        assert tracker.iteration == 1
+
+    def test_candidates_are_nested(self):
+        tracker, board = self.prepared()
+        before = set(tracker.candidates.tolist())
+        board.append(41, 6, 5, 1.0, PostKind.VOTE)
+        board.append(42, 7, 5, 1.0, PostKind.VOTE)
+        tracker.advance(44, BillboardView(board, before_round=44))
+        assert set(tracker.candidates.tolist()) <= before
+
+    def test_no_votes_empties_and_restarts(self):
+        tracker, board = self.prepared()
+        tracker.advance(44, BillboardView(board, before_round=44))
+        assert tracker.phase is DistillPhase.STEP11
+        diag = tracker.diagnostics()
+        assert diag["attempt_count"] == 2
+        assert diag["attempts"][0]["iterations"] == 1
+
+
+class TestUniverse:
+    def test_universe_restricts_pool_and_candidates(self):
+        universe = np.array([0, 1, 2])
+        tracker, board = make_tracker(universe=universe)
+        assert np.array_equal(tracker.pool, universe)
+        # Votes for out-of-universe objects must not enter S or C0.
+        board.append(0, 0, 5, 1.0, PostKind.VOTE)
+        board.append(1, 1, 1, 1.0, PostKind.VOTE)
+        tracker.advance(8, BillboardView(board, before_round=8))
+        assert np.array_equal(tracker.pool, [1])
+        for r, p in ((9, 2), (10, 3)):
+            board.append(r, p, 6, 1.0, PostKind.VOTE)  # outside universe
+        for r, p in ((11, 4), (12, 5)):
+            board.append(r, p, 2, 1.0, PostKind.VOTE)
+        tracker.advance(40, BillboardView(board, before_round=40))
+        assert np.array_equal(tracker.candidates, [2])
+
+    def test_start_round_offsets_clock(self):
+        tracker, _board = make_tracker(start_round=100)
+        assert tracker.phase_start == 100
+        assert tracker.phase_end == 108
+
+
+class TestDiagnostics:
+    def test_diagnostics_track_sizes(self):
+        tracker, board = make_tracker()
+        board.append(0, 0, 5, 1.0, PostKind.VOTE)
+        tracker.advance(8, BillboardView(board, before_round=8))
+        diag = tracker.diagnostics()
+        assert diag["attempts"][0]["s_size"] == 1
+        assert diag["total_iterations"] == 0

@@ -1,0 +1,46 @@
+"""Tests for experiment result records."""
+
+from repro.experiments.config import ExperimentResult, Scale
+
+
+def make_result(checks=None):
+    return ExperimentResult(
+        experiment_id="E0",
+        title="demo",
+        claim="a claim",
+        columns=["x", "y"],
+        rows=[{"x": 1, "y": 2.0}, {"x": 2, "y": 4.0}],
+        checks=checks or {},
+        notes=["a note"],
+    )
+
+
+class TestExperimentResult:
+    def test_render_includes_all_parts(self):
+        result = make_result(checks={"shape holds": True})
+        text = result.render()
+        assert "E0: demo" in text
+        assert "a claim" in text
+        assert "[PASS] shape holds" in text
+        assert "note: a note" in text
+
+    def test_failed_check_renders_fail(self):
+        result = make_result(checks={"broken": False})
+        assert "[FAIL] broken" in result.render()
+
+    def test_all_checks_pass(self):
+        assert make_result(checks={"a": True, "b": True}).all_checks_pass
+        assert not make_result(checks={"a": True, "b": False}).all_checks_pass
+
+    def test_empty_checks_pass_vacuously(self):
+        assert make_result().all_checks_pass
+
+    def test_table_filters_to_columns(self):
+        result = make_result()
+        result.rows[0]["hidden"] = 99
+        text = result.table().render()
+        assert "hidden" not in text
+
+    def test_scale_enum_values(self):
+        assert Scale("smoke") is Scale.SMOKE
+        assert Scale("full") is Scale.FULL

@@ -1,0 +1,56 @@
+"""End-to-end smoke runs of every registered experiment.
+
+These are the integration tests of the whole reproduction: each of the
+paper's twelve claims is measured at smoke scale and its shape checks
+must pass. FULL-scale results are recorded by the benches and in
+EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    EXPERIMENTS,
+    available_experiments,
+    run_experiment,
+)
+from repro.experiments.config import Scale
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        # E1..E12 cover the paper's claims; E13 validates the model's
+        # synchronous abstraction; A1..A4 explore the Section 6 open
+        # problems and the Lemma 6 ablation (DESIGN.md extensions)
+        expected = [f"E{i}" for i in range(1, 15)] + [
+            f"A{i}" for i in range(1, 7)
+        ]
+        assert available_experiments() == expected
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_experiment("E99", scale="smoke")
+
+    def test_scale_accepts_string(self):
+        result = run_experiment("E1", scale="smoke", seed=0)
+        assert result.experiment_id == "E1"
+
+    def test_lowercase_id_accepted(self):
+        result = run_experiment("e1", scale=Scale.SMOKE, seed=0)
+        assert result.experiment_id == "E1"
+
+
+@pytest.mark.parametrize("experiment_id", available_experiments())
+def test_experiment_smoke_checks_pass(experiment_id):
+    result = run_experiment(experiment_id, scale=Scale.SMOKE, seed=1)
+    failed = [name for name, ok in result.checks.items() if not ok]
+    assert not failed, f"{experiment_id} failed: {failed}"
+    assert result.rows, f"{experiment_id} produced no rows"
+    assert result.render()  # renders without error
+
+
+@pytest.mark.parametrize("experiment_id", available_experiments())
+def test_experiment_is_seed_deterministic(experiment_id):
+    a = run_experiment(experiment_id, scale=Scale.SMOKE, seed=7)
+    b = run_experiment(experiment_id, scale=Scale.SMOKE, seed=7)
+    assert a.rows == b.rows

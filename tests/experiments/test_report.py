@@ -1,0 +1,85 @@
+"""Tests for result serialization and the markdown report generator."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import run_experiment
+from repro.experiments.config import ExperimentResult
+from repro.experiments.report import (
+    generate_report,
+    result_from_dict,
+    result_from_json,
+    result_to_dict,
+    result_to_json,
+)
+
+
+@pytest.fixture(scope="module")
+def e1_result():
+    return run_experiment("E1", scale="smoke", seed=2)
+
+
+class TestSerialization:
+    def test_round_trip_preserves_everything(self, e1_result):
+        clone = result_from_dict(result_to_dict(e1_result))
+        assert clone.experiment_id == e1_result.experiment_id
+        assert clone.rows == e1_result.rows
+        assert clone.checks == e1_result.checks
+        assert list(clone.columns) == list(e1_result.columns)
+
+    def test_json_round_trip(self, e1_result):
+        clone = result_from_json(result_to_json(e1_result))
+        assert clone.rows == e1_result.rows
+
+    def test_json_is_valid_and_sorted(self, e1_result):
+        payload = json.loads(result_to_json(e1_result))
+        assert payload["experiment_id"] == "E1"
+
+    def test_missing_keys_rejected(self):
+        with pytest.raises(ConfigurationError):
+            result_from_dict({"experiment_id": "E1"})
+
+    def test_deserialized_result_renders(self, e1_result):
+        clone = result_from_json(result_to_json(e1_result))
+        assert clone.render()
+
+
+class TestMarkdownReport:
+    def test_report_from_precomputed_results(self, e1_result):
+        report = generate_report(results=[e1_result])
+        assert "# Reproduction report" in report
+        assert "## E1 —" in report
+        assert "| n |" in report or "| n " in report
+        assert "✅" in report
+
+    def test_report_counts_passes(self, e1_result):
+        report = generate_report(results=[e1_result])
+        assert "1/1 experiments pass" in report
+
+    def test_failed_checks_rendered_as_cross(self):
+        result = ExperimentResult(
+            experiment_id="EX",
+            title="t",
+            claim="c",
+            columns=["a"],
+            rows=[{"a": 1}],
+            checks={"broken": False},
+        )
+        report = generate_report(results=[result])
+        assert "❌ broken" in report
+        assert "0/1 experiments pass" in report
+
+    def test_report_runs_requested_ids(self):
+        report = generate_report(
+            experiment_ids=["E1"], scale="smoke", seed=3
+        )
+        assert "## E1" in report
+
+    def test_markdown_table_shape(self, e1_result):
+        md = e1_result.table().render_markdown()
+        lines = md.splitlines()
+        assert lines[0].startswith("| ")
+        assert set(lines[1]) <= {"|", "-"}
+        assert len(lines) == 2 + len(e1_result.rows)

@@ -1,0 +1,91 @@
+"""Tests for ASCII table / series rendering."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.tables import Table, format_series
+
+
+class TestTable:
+    def test_render_aligns_columns(self):
+        table = Table(["name", "value"])
+        table.add_row(name="a", value=1)
+        table.add_row(name="long-name", value=123.456)
+        lines = table.render().splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all lines equal width
+
+    def test_formats_applied(self):
+        table = Table(["x"], formats={"x": ".2f"})
+        table.add_row(x=1.23456)
+        assert "1.23" in table.render()
+
+    def test_missing_cell_renders_dash(self):
+        table = Table(["a", "b"])
+        table.add_row(a=1)
+        assert "-" in table.render().splitlines()[-1]
+
+    def test_unknown_column_rejected(self):
+        table = Table(["a"])
+        with pytest.raises(ConfigurationError):
+            table.add_row(b=1)
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Table([])
+
+    def test_default_float_format(self):
+        table = Table(["x"])
+        table.add_row(x=0.123456789)
+        assert "0.1235" in table.render()
+
+
+class TestSeries:
+    def test_renders_all_series(self):
+        out = format_series(
+            "n", [64, 128], {"distill": [2.0, 3.0], "trivial": [16.0, 16.0]}
+        )
+        assert "distill" in out
+        assert "trivial" in out
+        assert "n=64" in out
+        assert "n=128" in out
+
+    def test_bars_scale_monotonically(self):
+        out = format_series("n", [1], {"a": [1.0], "b": [100.0]})
+        bar_a = [l for l in out.splitlines() if l.strip().startswith("a")][0]
+        bar_b = [l for l in out.splitlines() if l.strip().startswith("b")][0]
+        assert bar_b.count("#") > bar_a.count("#")
+
+    def test_no_positive_data(self):
+        assert "(no positive data)" in format_series("n", [1], {"a": [0.0]})
+
+
+class TestSeriesEdgeCases:
+    def test_linear_scale(self):
+        out = format_series(
+            "x", [1, 2], {"a": [1.0, 2.0]}, log_scale=False
+        )
+        assert "x=1" in out
+
+    def test_constant_series(self):
+        # vmax == vmin: bars must still render without dividing by zero
+        out = format_series("x", [1, 2], {"a": [3.0, 3.0]})
+        assert out.count("#") >= 2
+
+    def test_zero_values_render_empty_bar(self):
+        out = format_series("x", [1], {"a": [0.0], "b": [5.0]})
+        line_a = [l for l in out.splitlines() if l.strip().startswith("a")][0]
+        assert "#" not in line_a
+
+
+class TestMarkdownRendering:
+    def test_empty_table_has_header_and_rule(self):
+        md = Table(["a", "b"]).render_markdown()
+        assert md.splitlines()[0] == "| a | b |"
+        assert len(md.splitlines()) == 2
+
+    def test_cells_formatted(self):
+        table = Table(["x"], formats={"x": ".1f"})
+        table.add_row(x=2.345)
+        assert "| 2.3 |" in table.render_markdown()

@@ -1,0 +1,110 @@
+"""End-to-end scenario tests across the public API."""
+
+import numpy as np
+
+import repro
+from repro import (
+    AlphaDoublingStrategy,
+    DistillHPStrategy,
+    DistillStrategy,
+    EngineConfig,
+    MultiVoteDistill,
+    NoLocalTestingDistill,
+    SplitVoteAdversary,
+    SynchronousEngine,
+    VoteMode,
+    cost_class_instance,
+    planted_instance,
+    run_multicost,
+    run_trials,
+    valued_instance,
+)
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_docstring_scenario(self):
+        rng = np.random.default_rng(0)
+        instance = planted_instance(
+            n=256, m=256, beta=1 / 16, alpha=0.75, rng=rng
+        )
+        engine = SynchronousEngine(
+            instance,
+            DistillStrategy(),
+            adversary=SplitVoteAdversary(),
+            rng=np.random.default_rng(1),
+            adversary_rng=np.random.default_rng(2),
+        )
+        metrics = engine.run()
+        assert metrics.all_honest_satisfied
+
+
+class TestScenarios:
+    def test_every_variant_solves_the_same_world(self):
+        """All local-testing variants find the good objects on one world
+        family, under attack."""
+        for strategy_factory in (
+            DistillStrategy,
+            DistillHPStrategy,
+            AlphaDoublingStrategy,
+        ):
+            res = run_trials(
+                lambda rng: planted_instance(
+                    n=96, m=96, beta=1 / 8, alpha=0.5, rng=rng
+                ),
+                strategy_factory,
+                make_adversary=SplitVoteAdversary,
+                n_trials=4,
+                seed=13,
+            )
+            assert res.success_rate() == 1.0, strategy_factory
+
+    def test_marketplace_multicost_scenario(self):
+        rng = np.random.default_rng(5)
+        instance = cost_class_instance(
+            n=128,
+            class_sizes=[32, 32, 32],
+            good_class=1,
+            alpha=0.75,
+            rng=rng,
+        )
+        outcome = run_multicost(instance, rng=np.random.default_rng(6))
+        assert outcome.metrics.all_honest_satisfied
+        assert outcome.q0 == 2.0
+
+    def test_recommendation_scenario_without_local_testing(self):
+        rng = np.random.default_rng(7)
+        instance = valued_instance(
+            n=128, m=128, beta=1 / 8, alpha=0.6, rng=rng
+        )
+        engine = SynchronousEngine(
+            instance,
+            NoLocalTestingDistill(),
+            rng=np.random.default_rng(8),
+            config=EngineConfig(vote_mode=VoteMode.MUTABLE),
+        )
+        metrics = engine.run()
+        assert metrics.satisfied_fraction >= 0.95
+
+    def test_multivote_scenario(self):
+        rng = np.random.default_rng(9)
+        instance = planted_instance(
+            n=96, m=96, beta=1 / 8, alpha=0.7, rng=rng
+        )
+        engine = SynchronousEngine(
+            instance,
+            MultiVoteDistill(f=2, error_rate=0.05),
+            adversary=SplitVoteAdversary(votes_per_identity=2),
+            rng=np.random.default_rng(10),
+            adversary_rng=np.random.default_rng(11),
+            config=EngineConfig(
+                vote_mode=VoteMode.MULTI, max_votes_per_player=2
+            ),
+        )
+        assert engine.run().all_honest_satisfied

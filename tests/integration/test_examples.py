@@ -1,0 +1,56 @@
+"""Every example script runs end-to-end at small scale."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(
+    os.path.dirname(__file__), os.pardir, os.pardir, "examples"
+)
+
+CASES = {
+    "quickstart.py": ["--n", "64", "--seed", "1"],
+    "marketplace_pricing.py": [
+        "--n", "64", "--classes", "3", "--class-size", "16",
+        "--good-class", "1", "--seed", "1",
+    ],
+    "recommendation_system.py": ["--n", "64", "--seed", "1"],
+    "adversary_gauntlet.py": ["--n", "64", "--trials", "2", "--seed", "1"],
+    "scaling_study.py": [
+        "--sizes", "32", "64", "--trials", "2", "--seed", "1",
+    ],
+    "async_vs_sync.py": ["--n", "64", "--seed", "1"],
+    "slander_study.py": ["--n", "64", "--trials", "2", "--seed", "1"],
+    "paper_tour.py": ["--only", "E1", "--seed", "1"],
+}
+
+
+def run_example(name, args):
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_example_runs(name):
+    result = run_example(name, CASES[name])
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), f"{name} printed nothing"
+
+
+def test_examples_directory_is_fully_covered():
+    """Every example script has a smoke case above."""
+    scripts = {
+        f for f in os.listdir(EXAMPLES_DIR) if f.endswith(".py")
+    }
+    assert scripts == set(CASES)
+
+
+def test_quickstart_reports_success():
+    result = run_example("quickstart.py", CASES["quickstart.py"])
+    assert "found a good object: True" in result.stdout

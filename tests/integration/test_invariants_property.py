@@ -1,0 +1,95 @@
+"""Property-based whole-run invariants (hypothesis).
+
+Each property runs a complete DISTILL simulation with hypothesis-chosen
+world parameters and adversary, then audits the billboard and metrics
+against the model's rules.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversaries.flood import FloodAdversary
+from repro.adversaries.registry import make_adversary
+from repro.adversaries.silent import SilentAdversary
+from repro.adversaries.split_vote import SplitVoteAdversary
+from repro.core.distill import DistillStrategy
+from repro.sim.engine import EngineConfig, SynchronousEngine
+from repro.world.generators import planted_instance
+
+world_params = st.tuples(
+    st.sampled_from([16, 32, 64]),          # n (= m)
+    st.sampled_from([1, 2, 8]),             # good objects
+    st.floats(min_value=0.15, max_value=1.0),  # alpha
+    st.sampled_from(["silent", "flood", "split-vote", "mimic"]),
+    st.integers(min_value=0, max_value=10 ** 6),  # seed
+)
+
+
+def run_world(n, n_good, alpha, adversary_name, seed):
+    inst = planted_instance(
+        n=n, m=n, beta=n_good / n, alpha=alpha,
+        rng=np.random.default_rng(seed),
+    )
+    engine = SynchronousEngine(
+        inst,
+        DistillStrategy(),
+        adversary=make_adversary(adversary_name),
+        rng=np.random.default_rng(seed + 1),
+        adversary_rng=np.random.default_rng(seed + 2),
+        config=EngineConfig(max_rounds=100_000),
+    )
+    return inst, engine, engine.run()
+
+
+@given(world_params)
+@settings(max_examples=25, deadline=None)
+def test_run_terminates_and_everyone_finds_good(params):
+    _inst, _engine, metrics = run_world(*params)
+    assert metrics.all_honest_satisfied
+
+
+@given(world_params)
+@settings(max_examples=25, deadline=None)
+def test_dishonest_vote_budget(params):
+    inst, engine, _metrics = run_world(*params)
+    ledger = engine.board.ledger
+    assert ledger.votes_cast_by(inst.dishonest_ids) <= inst.n_dishonest
+
+
+@given(world_params)
+@settings(max_examples=25, deadline=None)
+def test_honest_votes_truthful_and_single(params):
+    inst, engine, _metrics = run_world(*params)
+    for player in inst.honest_ids:
+        votes = engine.board.ledger.votes_of(int(player))
+        assert len(votes) <= 1
+        for obj in votes:
+            assert inst.space.good_mask[obj]
+
+
+@given(world_params)
+@settings(max_examples=25, deadline=None)
+def test_unit_cost_paid_equals_probes(params):
+    inst, _engine, metrics = run_world(*params)
+    assert np.array_equal(metrics.paid, metrics.probes.astype(float))
+
+
+@given(world_params)
+@settings(max_examples=25, deadline=None)
+def test_satisfaction_is_permanent_and_consistent(params):
+    inst, _engine, metrics = run_world(*params)
+    honest = inst.honest_mask
+    sat = metrics.satisfied_round[honest]
+    halted = metrics.halted_round[honest]
+    # with local testing, players halt exactly when satisfied
+    assert np.array_equal(sat, halted)
+    assert (sat < metrics.rounds).all()
+
+
+@given(world_params)
+@settings(max_examples=15, deadline=None)
+def test_board_round_stamps_monotonic(params):
+    _inst, engine, _metrics = run_world(*params)
+    rounds = [p.round_no for p in engine.board]
+    assert rounds == sorted(rounds)

@@ -1,0 +1,127 @@
+"""Whole-run properties under the MULTI and MUTABLE vote modes."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversaries.split_vote import SplitVoteAdversary
+from repro.billboard.votes import VoteMode
+from repro.core.multivote import MultiVoteDistill
+from repro.core.no_local_testing import NoLocalTestingDistill
+from repro.sim.engine import EngineConfig, SynchronousEngine
+from repro.world.generators import planted_instance, valued_instance
+
+multi_params = st.tuples(
+    st.integers(min_value=1, max_value=4),                   # f
+    st.sampled_from([0.0, 0.05, 0.15]),                      # error rate
+    st.floats(min_value=0.3, max_value=0.9),                 # alpha
+    st.integers(min_value=0, max_value=10 ** 6),             # seed
+)
+
+
+def run_multi(f, error_rate, alpha, seed):
+    if error_rate > 0 and f < 2:
+        f = 2
+    inst = planted_instance(
+        n=48, m=48, beta=1 / 8, alpha=alpha,
+        rng=np.random.default_rng(seed),
+    )
+    engine = SynchronousEngine(
+        inst,
+        MultiVoteDistill(f=f, error_rate=error_rate),
+        adversary=SplitVoteAdversary(votes_per_identity=f),
+        rng=np.random.default_rng(seed + 1),
+        adversary_rng=np.random.default_rng(seed + 2),
+        config=EngineConfig(
+            vote_mode=VoteMode.MULTI,
+            max_votes_per_player=f,
+            max_rounds=100_000,
+        ),
+    )
+    return inst, engine, engine.run()
+
+
+@given(multi_params)
+@settings(max_examples=20, deadline=None)
+def test_multi_mode_budget_is_f_per_player(params):
+    f, error_rate, alpha, seed = params
+    f = max(f, 2) if error_rate > 0 else f
+    inst, engine, _metrics = run_multi(f, error_rate, alpha, seed)
+    ledger = engine.board.ledger
+    for player in range(inst.n):
+        assert len(ledger.votes_of(player)) <= f
+
+
+@given(multi_params)
+@settings(max_examples=20, deadline=None)
+def test_multi_mode_everyone_succeeds(params):
+    _inst, _engine, metrics = run_multi(*params)
+    assert metrics.all_honest_satisfied
+
+
+@given(multi_params)
+@settings(max_examples=20, deadline=None)
+def test_multi_mode_satisfied_players_hold_a_good_vote(params):
+    inst, engine, metrics = run_multi(*params)
+    ledger = engine.board.ledger
+    for player in inst.honest_ids:
+        if metrics.satisfied_round[player] >= 0:
+            targets = ledger.votes_of(int(player))
+            assert any(inst.space.good_mask[obj] for obj in targets)
+
+
+mutable_params = st.tuples(
+    st.floats(min_value=0.3, max_value=0.9),   # alpha
+    st.sampled_from([1 / 16, 1 / 8]),          # beta
+    st.integers(min_value=0, max_value=10 ** 6),
+)
+
+
+def run_mutable(alpha, beta, seed):
+    inst = valued_instance(
+        n=48, m=48, beta=beta, alpha=alpha,
+        rng=np.random.default_rng(seed),
+    )
+    engine = SynchronousEngine(
+        inst,
+        NoLocalTestingDistill(),
+        rng=np.random.default_rng(seed + 1),
+        config=EngineConfig(
+            vote_mode=VoteMode.MUTABLE, max_rounds=100_000
+        ),
+    )
+    return inst, engine, engine.run()
+
+
+@given(mutable_params)
+@settings(max_examples=20, deadline=None)
+def test_mutable_votes_only_improve(params):
+    inst, engine, _metrics = run_mutable(*params)
+    for player in inst.honest_ids:
+        values = [
+            p.reported_value
+            for p in engine.board.posts(player=int(player))
+            if p.is_vote
+        ]
+        assert values == sorted(values)
+
+
+@given(mutable_params)
+@settings(max_examples=20, deadline=None)
+def test_mutable_run_length_is_prescribed(params):
+    _inst, engine, metrics = run_mutable(*params)
+    assert metrics.rounds == engine.strategy.prescribed_rounds
+
+
+@given(mutable_params)
+@settings(max_examples=20, deadline=None)
+def test_mutable_final_votes_match_ledger(params):
+    inst, engine, _metrics = run_mutable(*params)
+    ledger = engine.board.ledger
+    current = ledger.current_vote_array()
+    for player in inst.honest_ids:
+        posts = [
+            p for p in engine.board.posts(player=int(player)) if p.is_vote
+        ]
+        assert posts, "every player posts at least its first probe"
+        assert current[player] == posts[-1].object_id

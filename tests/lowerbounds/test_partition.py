@@ -1,0 +1,122 @@
+"""Tests for the Theorem 2 partition construction."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.trivial import TrivialStrategy
+from repro.core.distill import DistillStrategy
+from repro.errors import ConfigurationError
+from repro.lowerbounds.partition import (
+    PartitionConstruction,
+    evaluate_partition_bound,
+)
+
+
+@pytest.fixture
+def construction():
+    # n = m = 48, alpha = beta = 1/4 -> 4 groups of 12, 4 classes of 12, B=4
+    return PartitionConstruction(n=48, m=48, alpha=0.25, beta=0.25)
+
+
+class TestConstruction:
+    def test_b_is_min(self, construction):
+        assert construction.B == 4
+
+    def test_asymmetric_b(self):
+        c = PartitionConstruction(n=48, m=48, alpha=0.25, beta=1 / 12)
+        assert c.B == 4
+        c = PartitionConstruction(n=48, m=48, alpha=1 / 12, beta=0.25)
+        assert c.B == 4
+
+    def test_groups_are_disjoint_and_cover(self, construction):
+        seen = set()
+        for k in range(1, construction.n_groups + 1):
+            members = set(construction.group_members(k).tolist())
+            assert not (members & seen)
+            seen |= members
+        assert 0 not in seen  # player 0 stands apart
+
+    def test_classes_partition_objects(self, construction):
+        seen = set()
+        for k in range(1, construction.n_classes + 1):
+            members = set(construction.class_members(k).tolist())
+            assert not (members & seen)
+            seen |= members
+        assert seen == set(range(48))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PartitionConstruction(n=4, m=48, alpha=0.1, beta=0.25)
+
+    def test_index_bounds(self, construction):
+        with pytest.raises(ConfigurationError):
+            construction.group_members(0)
+        with pytest.raises(ConfigurationError):
+            construction.class_members(5)
+        with pytest.raises(ConfigurationError):
+            construction.build_instance(5)
+
+
+class TestSpoofTables:
+    def test_only_first_b_groups_report(self):
+        c = PartitionConstruction(n=48, m=48, alpha=0.25, beta=0.5)
+        tables = c.spoof_tables()  # B = 2 -> only groups 1, 2 report
+        reporting = set(tables)
+        expected = set(c.group_members(1)) | set(c.group_members(2))
+        assert reporting == {int(p) for p in expected}
+
+    def test_tables_mark_their_class(self, construction):
+        tables = construction.spoof_tables()
+        for k in range(1, construction.B + 1):
+            for player in construction.group_members(k):
+                table = tables[int(player)]
+                marked = np.flatnonzero(table == 1.0)
+                assert np.array_equal(
+                    marked, construction.class_members(k)
+                )
+
+    def test_tables_are_instance_independent(self, construction):
+        """The proof's key property: reports do not depend on k."""
+        t1 = construction.spoof_tables()
+        t2 = construction.spoof_tables()
+        for player in t1:
+            assert np.array_equal(t1[player], t2[player])
+
+
+class TestInstances:
+    def test_instance_k_has_class_k_good(self, construction):
+        inst = construction.build_instance(3)
+        good = np.flatnonzero(inst.space.good_mask)
+        assert np.array_equal(good, construction.class_members(3))
+
+    def test_honest_set_is_group_k_plus_zero(self, construction):
+        inst = construction.build_instance(2)
+        honest = set(np.flatnonzero(inst.honest_mask).tolist())
+        assert honest == {0} | set(
+            int(p) for p in construction.group_members(2)
+        )
+
+    def test_symmetry_of_honest_reports(self, construction):
+        """In instance k the honest group's truthful reports coincide
+        with its scripted table — honesty is indistinguishable."""
+        inst = construction.build_instance(1)
+        tables = construction.spoof_tables()
+        for player in construction.group_members(1):
+            assert np.array_equal(
+                tables[int(player)], inst.space.values
+            )
+
+
+class TestEvaluation:
+    def test_bound_binds_on_trivial(self, construction):
+        out = evaluate_partition_bound(
+            TrivialStrategy, construction, trials=12, seed=1
+        )
+        assert out["mean_probes_player0"] >= 0.7 * out["bound_floor"]
+
+    def test_bound_binds_on_distill(self, construction):
+        out = evaluate_partition_bound(
+            DistillStrategy, construction, trials=12, seed=2
+        )
+        assert out["mean_probes_player0"] >= 0.7 * out["bound_floor"]
+        assert out["B"] == 4.0

@@ -1,0 +1,66 @@
+"""Tests for the Theorem 1 urn machinery."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.lowerbounds.urn import (
+    expected_draws_until_good,
+    simulate_urn_rounds,
+    thm1_individual_lower_bound,
+)
+
+
+class TestExactExpectation:
+    def test_known_values(self):
+        # all balls good -> first draw wins
+        assert expected_draws_until_good(10, 10) == pytest.approx(11 / 11)
+        # one good among m: (m+1)/2
+        assert expected_draws_until_good(9, 1) == pytest.approx(5.0)
+
+    def test_monotone_in_goods(self):
+        values = [expected_draws_until_good(100, g) for g in (1, 10, 50)]
+        assert values[0] > values[1] > values[2]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            expected_draws_until_good(10, 0)
+        with pytest.raises(ConfigurationError):
+            expected_draws_until_good(10, 11)
+
+
+class TestSimulation:
+    def test_matches_exact_expectation(self, rng):
+        m, g = 64, 4
+        rounds = simulate_urn_rounds(m, g, probes_per_round=1, rng=rng,
+                                     trials=4000)
+        expected = expected_draws_until_good(m, g)
+        assert rounds.mean() == pytest.approx(expected, rel=0.1)
+
+    def test_parallelism_divides_rounds(self, rng):
+        m, g = 256, 4
+        serial = simulate_urn_rounds(m, g, 1, rng, trials=2000).mean()
+        parallel = simulate_urn_rounds(m, g, 16, rng, trials=2000).mean()
+        assert parallel < serial / 8
+
+    def test_rounds_at_least_one(self, rng):
+        rounds = simulate_urn_rounds(8, 8, 100, rng, trials=50)
+        assert (rounds >= 1).all()
+
+    def test_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            simulate_urn_rounds(8, 0, 1, rng)
+        with pytest.raises(ConfigurationError):
+            simulate_urn_rounds(8, 1, 0, rng)
+
+
+class TestBound:
+    def test_shape_in_alpha_beta_n(self):
+        base = thm1_individual_lower_bound(64, 64, 0.5, 1 / 8)
+        assert thm1_individual_lower_bound(128, 128, 0.5, 1 / 8) < base
+        assert thm1_individual_lower_bound(64, 64, 0.25, 1 / 8) > base
+        assert thm1_individual_lower_bound(64, 64, 0.5, 1 / 16) > base
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            thm1_individual_lower_bound(64, 64, 0.0, 0.5)

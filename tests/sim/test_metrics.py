@@ -1,0 +1,70 @@
+"""Tests for RunMetrics summaries."""
+
+import numpy as np
+import pytest
+
+from repro.sim.metrics import RunMetrics
+
+
+@pytest.fixture
+def metrics():
+    # 4 players: 0,1 honest; 2,3 dishonest. Player 1 never satisfied.
+    return RunMetrics(
+        honest_mask=np.array([True, True, False, False]),
+        probes=np.array([3, 10, 0, 0]),
+        paid=np.array([3.0, 10.0, 0.0, 0.0]),
+        satisfied_round=np.array([2, -1, -1, -1]),
+        halted_round=np.array([2, -1, -1, -1]),
+        rounds=10,
+        all_honest_satisfied=False,
+    )
+
+
+class TestAccessors:
+    def test_honest_probes(self, metrics):
+        assert np.array_equal(metrics.honest_probes, [3, 10])
+
+    def test_mean_individual_probes(self, metrics):
+        assert metrics.mean_individual_probes == 6.5
+
+    def test_termination_rounds_charges_full_run_to_unsatisfied(
+        self, metrics
+    ):
+        assert np.array_equal(metrics.honest_termination_rounds, [3, 10])
+
+    def test_mean_individual_rounds(self, metrics):
+        assert metrics.mean_individual_rounds == 6.5
+
+    def test_max_individual_rounds(self, metrics):
+        assert metrics.max_individual_rounds == 10
+
+    def test_satisfied_fraction(self, metrics):
+        assert metrics.satisfied_fraction == 0.5
+
+    def test_mean_individual_paid(self, metrics):
+        assert metrics.mean_individual_paid == 6.5
+
+    def test_n(self, metrics):
+        assert metrics.n == 4
+
+
+class TestSummary:
+    def test_summary_keys_stable(self, metrics):
+        summary = metrics.summary()
+        assert set(summary) == {
+            "rounds",
+            "mean_individual_probes",
+            "mean_individual_rounds",
+            "max_individual_rounds",
+            "mean_individual_paid",
+            "satisfied_fraction",
+            "all_honest_satisfied",
+        }
+
+    def test_summary_values_are_floats(self, metrics):
+        assert all(
+            isinstance(v, float) for v in metrics.summary().values()
+        )
+
+    def test_all_satisfied_flag(self, metrics):
+        assert metrics.summary()["all_honest_satisfied"] == 0.0

@@ -1,0 +1,116 @@
+"""Tests for the Monte-Carlo trial runner."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.trivial import TrivialStrategy
+from repro.sim.engine import EngineConfig
+from repro.sim.runner import run_trials
+from repro.world.generators import planted_instance
+
+
+def factory(n=16, m=16, beta=0.25, alpha=0.75):
+    return lambda rng: planted_instance(
+        n=n, m=m, beta=beta, alpha=alpha, rng=rng
+    )
+
+
+class TestRunTrials:
+    def test_runs_requested_trials(self):
+        res = run_trials(factory(), TrivialStrategy, n_trials=5, seed=1)
+        assert res.n_trials == 5
+
+    def test_reproducible_by_seed(self):
+        a = run_trials(factory(), TrivialStrategy, n_trials=4, seed=9)
+        b = run_trials(factory(), TrivialStrategy, n_trials=4, seed=9)
+        assert np.array_equal(a.per_trial["rounds"], b.per_trial["rounds"])
+
+    def test_different_seeds_differ(self):
+        a = run_trials(factory(), TrivialStrategy, n_trials=6, seed=1)
+        b = run_trials(factory(), TrivialStrategy, n_trials=6, seed=2)
+        assert not np.array_equal(
+            a.per_trial["mean_individual_probes"],
+            b.per_trial["mean_individual_probes"],
+        )
+
+    def test_keep_metrics(self):
+        res = run_trials(
+            factory(), TrivialStrategy, n_trials=3, seed=0, keep_metrics=True
+        )
+        assert len(res.metrics) == 3
+
+    def test_strategy_infos_collected(self):
+        from repro.core.distill import DistillStrategy
+
+        res = run_trials(factory(), DistillStrategy, n_trials=3, seed=0)
+        assert len(res.strategy_infos) == 3
+        assert all("attempt_count" in i for i in res.strategy_infos)
+
+    def test_config_passed_through(self):
+        with pytest.raises(Exception):
+            run_trials(
+                factory(beta=1 / 16, m=64),
+                TrivialStrategy,
+                n_trials=2,
+                seed=0,
+                config=EngineConfig(max_rounds=1, strict=True),
+            )
+
+
+class TestAggregation:
+    @pytest.fixture
+    def res(self):
+        return run_trials(factory(), TrivialStrategy, n_trials=16, seed=3)
+
+    def test_mean_matches_numpy(self, res):
+        key = "mean_individual_probes"
+        assert res.mean(key) == pytest.approx(
+            float(res.per_trial[key].mean())
+        )
+
+    def test_ci_positive_for_noisy_stat(self, res):
+        assert res.ci95("mean_individual_probes") > 0
+
+    def test_quantile_bounds(self, res):
+        key = "rounds"
+        assert res.quantile(key, 0.0) <= res.quantile(key, 1.0)
+
+    def test_success_rate_is_fraction(self, res):
+        assert 0.0 <= res.success_rate() <= 1.0
+
+    def test_describe_mentions_ci(self, res):
+        assert "95% CI" in res.describe("rounds")
+
+    def test_sem_scales_with_std(self, res):
+        key = "rounds"
+        assert res.sem(key) == pytest.approx(res.std(key) / 4.0)
+
+
+class TestContextFactory:
+    def test_make_context_overrides_protocol_knowledge(self):
+        """The Section 5.1 use case: feed the strategy a wrong alpha."""
+        from repro.core.distill import DistillStrategy
+        from repro.strategies.base import StrategyContext
+
+        seen = {}
+
+        class Probe(DistillStrategy):
+            def reset(self, ctx, rng):
+                seen["alpha"] = ctx.alpha
+                super().reset(ctx, rng)
+
+        res = run_trials(
+            factory(alpha=0.75),
+            Probe,
+            n_trials=1,
+            seed=0,
+            make_context=lambda inst: StrategyContext(
+                n=inst.n,
+                m=inst.m,
+                alpha=0.25,  # deliberately wrong
+                beta=inst.beta,
+                good_threshold=0.5,
+            ),
+        )
+        assert seen["alpha"] == 0.25
+        assert res.n_trials == 1

@@ -1,0 +1,96 @@
+"""Tests for asynchronous player schedules."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.schedules import (
+    RandomSchedule,
+    RoundRobinSchedule,
+    SoloFirstSchedule,
+    StarvationSchedule,
+)
+
+
+def ids(*players):
+    return np.array(sorted(players), dtype=np.int64)
+
+
+class TestRoundRobin:
+    def test_cycles_in_order(self, rng):
+        schedule = RoundRobinSchedule()
+        schedule.reset(4, rng)
+        picks = [schedule.next_player(i, ids(0, 1, 2, 3)) for i in range(8)]
+        assert picks == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_skips_halted_players(self, rng):
+        schedule = RoundRobinSchedule()
+        schedule.reset(4, rng)
+        active = ids(0, 2)
+        picks = [schedule.next_player(i, active) for i in range(4)]
+        assert picks == [0, 2, 0, 2]
+
+    def test_wraps_after_last_player(self, rng):
+        schedule = RoundRobinSchedule()
+        schedule.reset(4, rng)
+        schedule.next_player(0, ids(3))
+        assert schedule.next_player(1, ids(0, 3)) == 0
+
+
+class TestRandom:
+    def test_only_picks_active(self, rng):
+        schedule = RandomSchedule()
+        schedule.reset(8, rng)
+        active = ids(1, 4, 6)
+        picks = {schedule.next_player(i, active) for i in range(100)}
+        assert picks <= {1, 4, 6}
+
+    def test_covers_all_active(self, rng):
+        schedule = RandomSchedule()
+        schedule.reset(8, rng)
+        active = ids(1, 4, 6)
+        picks = {schedule.next_player(i, active) for i in range(200)}
+        assert picks == {1, 4, 6}
+
+
+class TestSoloFirst:
+    def test_victim_runs_while_active(self, rng):
+        schedule = SoloFirstSchedule(victim=2)
+        schedule.reset(4, rng)
+        for i in range(5):
+            assert schedule.next_player(i, ids(0, 1, 2, 3)) == 2
+
+    def test_others_run_after_victim_halts(self, rng):
+        schedule = SoloFirstSchedule(victim=2)
+        schedule.reset(4, rng)
+        picks = [schedule.next_player(i, ids(0, 1, 3)) for i in range(6)]
+        assert picks == [0, 1, 3, 0, 1, 3]
+
+
+class TestStarvation:
+    def test_victim_only_at_window_boundaries(self, rng):
+        schedule = StarvationSchedule(victim=0, fairness_window=4)
+        schedule.reset(4, rng)
+        picks = [
+            schedule.next_player(i, ids(0, 1, 2, 3)) for i in range(8)
+        ]
+        assert picks[3] == 0
+        assert picks[7] == 0
+        assert 0 not in picks[:3] + picks[4:7]
+
+    def test_unbounded_window_never_schedules_victim(self, rng):
+        schedule = StarvationSchedule(victim=0, fairness_window=None)
+        schedule.reset(4, rng)
+        picks = [
+            schedule.next_player(i, ids(0, 1, 2, 3)) for i in range(20)
+        ]
+        assert 0 not in picks
+
+    def test_victim_runs_when_alone(self, rng):
+        schedule = StarvationSchedule(victim=0, fairness_window=None)
+        schedule.reset(4, rng)
+        assert schedule.next_player(0, ids(0)) == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            StarvationSchedule(fairness_window=1)

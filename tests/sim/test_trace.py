@@ -1,0 +1,126 @@
+"""Tests for the trace subsystem and the replay audit."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.adversaries.flood import FloodAdversary
+from repro.core.distill import DistillStrategy
+from repro.errors import ConfigurationError
+from repro.sim.engine import EngineConfig, SynchronousEngine
+from repro.sim.trace import Trace, replay_metrics
+from repro.world.generators import planted_instance
+
+
+def traced_run(seed=3, alpha=0.6, adversary=True):
+    inst = planted_instance(
+        n=64, m=64, beta=1 / 8, alpha=alpha,
+        rng=np.random.default_rng(seed),
+    )
+    engine = SynchronousEngine(
+        inst,
+        DistillStrategy(),
+        adversary=FloodAdversary() if adversary else None,
+        rng=np.random.default_rng(seed + 1),
+        adversary_rng=np.random.default_rng(seed + 2),
+        config=EngineConfig(trace=True),
+    )
+    metrics = engine.run()
+    return inst, engine, metrics
+
+
+class TestTraceBasics:
+    def test_record_and_iterate(self):
+        trace = Trace()
+        trace.record(0, "probes", players=[1], objects=[2], values=[0.0])
+        trace.record(1, "halt", players=[1])
+        assert len(trace) == 2
+        kinds = [e.kind for e in trace]
+        assert kinds == ["probes", "halt"]
+
+    def test_seq_is_monotone(self):
+        trace = Trace()
+        for i in range(5):
+            trace.record(i, "probes", players=[], objects=[], values=[])
+        assert [e.seq for e in trace] == list(range(5))
+
+    def test_counts(self):
+        trace = Trace()
+        trace.record(0, "vote", player=1, object=2)
+        trace.record(0, "vote", player=2, object=2)
+        trace.record(1, "halt", players=[1])
+        assert trace.counts() == {"vote": 2, "halt": 1}
+
+    def test_jsonl_round_trips(self):
+        trace = Trace()
+        trace.record(0, "vote", player=1, object=2)
+        lines = trace.to_jsonl().splitlines()
+        parsed = json.loads(lines[0])
+        assert parsed["kind"] == "vote"
+        assert parsed["player"] == 1
+
+    def test_write_jsonl(self, tmp_path):
+        trace = Trace()
+        trace.record(0, "halt", players=[0])
+        path = tmp_path / "trace.jsonl"
+        trace.write_jsonl(str(path))
+        assert path.read_text().strip()
+
+    def test_replay_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            replay_metrics(Trace(), 4, np.zeros(4, dtype=bool))
+
+
+class TestEngineTracing:
+    def test_disabled_by_default(self):
+        inst = planted_instance(
+            n=8, m=8, beta=0.25, alpha=1.0, rng=np.random.default_rng(0)
+        )
+        engine = SynchronousEngine(inst, DistillStrategy())
+        assert engine.trace is None
+
+    def test_events_recorded(self):
+        _inst, engine, _metrics = traced_run()
+        counts = engine.trace.counts()
+        assert counts["probes"] >= 1
+        assert counts["vote"] >= 1
+        assert counts["halt"] >= 1
+        assert counts["adversary"] >= 1
+
+    def test_adversary_events_tag_dishonest_players(self):
+        inst, engine, _metrics = traced_run()
+        for event in engine.trace.of_kind("adversary"):
+            assert not inst.honest_mask[event.payload["player"]]
+
+    def test_replay_audit_matches_engine_books(self):
+        """The core audit: metrics recomputed from the event stream must
+        equal the engine's own accounting."""
+        inst, engine, metrics = traced_run(seed=11)
+        probes, satisfied, halted = replay_metrics(
+            engine.trace, inst.n, inst.space.good_mask
+        )
+        assert np.array_equal(probes, metrics.probes)
+        assert np.array_equal(satisfied, metrics.satisfied_round)
+        assert np.array_equal(halted, metrics.halted_round)
+
+    def test_replay_audit_without_adversary(self):
+        inst, engine, metrics = traced_run(seed=13, adversary=False)
+        probes, satisfied, halted = replay_metrics(
+            engine.trace, inst.n, inst.space.good_mask
+        )
+        assert np.array_equal(probes, metrics.probes)
+        assert np.array_equal(satisfied, metrics.satisfied_round)
+
+    def test_vote_events_match_board(self):
+        inst, engine, _metrics = traced_run(seed=17)
+        traced_votes = {
+            (e.payload["player"], e.payload["object"])
+            for e in engine.trace.of_kind("vote")
+        }
+        honest_board_votes = {
+            (p.player, p.object_id)
+            for p in engine.board.vote_posts()
+            if inst.honest_mask[p.player]
+        }
+        assert traced_votes == honest_board_votes

@@ -1,0 +1,63 @@
+"""Tests for the Strategy base class and context."""
+
+import numpy as np
+import pytest
+
+from repro.strategies.base import Strategy, StrategyContext
+
+
+class TestContext:
+    def test_local_testing_flag(self):
+        with_test = StrategyContext(4, 4, 0.5, 0.5, good_threshold=0.5)
+        without = StrategyContext(4, 4, 0.5, 0.5, good_threshold=None)
+        assert with_test.supports_local_testing
+        assert not without.supports_local_testing
+
+
+class TestDefaultHandleResults:
+    def make(self, threshold=0.5):
+        strategy = Strategy()
+        strategy.reset(
+            StrategyContext(4, 4, 0.5, 0.5, good_threshold=threshold),
+            np.random.default_rng(0),
+        )
+        return strategy
+
+    def test_vote_and_halt_on_threshold_pass(self):
+        strategy = self.make()
+        vote, halt = strategy.handle_results(
+            0,
+            np.array([0, 1]),
+            np.array([2, 3]),
+            np.array([1.0, 0.0]),
+        )
+        assert vote.tolist() == [True, False]
+        assert halt.tolist() == [True, False]
+
+    def test_threshold_boundary_is_inclusive(self):
+        strategy = self.make(threshold=0.5)
+        vote, _halt = strategy.handle_results(
+            0, np.array([0]), np.array([0]), np.array([0.5])
+        )
+        assert vote[0]
+
+    def test_requires_local_testing(self):
+        strategy = Strategy()
+        strategy.reset(
+            StrategyContext(4, 4, 0.5, 0.5, good_threshold=None),
+            np.random.default_rng(0),
+        )
+        with pytest.raises(NotImplementedError):
+            strategy.handle_results(
+                0, np.array([0]), np.array([0]), np.array([1.0])
+            )
+
+    def test_choose_probes_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Strategy().choose_probes(0, np.array([0]), None)
+
+    def test_finished_defaults_false(self):
+        assert not Strategy().finished(10)
+
+    def test_info_defaults_empty(self):
+        assert Strategy().info() == {}

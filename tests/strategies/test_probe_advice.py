@@ -1,0 +1,70 @@
+"""Tests for the PROBE&SEEKADVICE primitive."""
+
+import numpy as np
+
+from repro.billboard.board import Billboard
+from repro.billboard.post import PostKind
+from repro.billboard.views import BillboardView
+from repro.strategies.probe_advice import AdviceAlternator
+
+
+class TestParity:
+    def test_even_offsets_explore(self):
+        assert not AdviceAlternator.is_advice_round(0)
+        assert not AdviceAlternator.is_advice_round(2)
+
+    def test_odd_offsets_advise(self):
+        assert AdviceAlternator.is_advice_round(1)
+        assert AdviceAlternator.is_advice_round(3)
+
+
+class TestExplore:
+    def test_samples_from_pool_only(self, rng):
+        alt = AdviceAlternator(n_players=4)
+        pool = np.array([3, 5, 9])
+        picks = alt.explore(pool, 100, rng)
+        assert set(np.unique(picks)) <= {3, 5, 9}
+        assert picks.shape == (100,)
+
+    def test_empty_pool_idles(self, rng):
+        alt = AdviceAlternator(n_players=4)
+        picks = alt.explore(np.array([], dtype=np.int64), 5, rng)
+        assert (picks == -1).all()
+
+    def test_covers_pool_eventually(self, rng):
+        alt = AdviceAlternator(n_players=4)
+        pool = np.array([0, 1, 2, 3])
+        picks = alt.explore(pool, 400, rng)
+        assert set(np.unique(picks)) == {0, 1, 2, 3}
+
+
+class TestAdvise:
+    def test_follows_votes(self, rng):
+        board = Billboard(4, 8)
+        board.append(0, 0, 6, 1.0, PostKind.VOTE)
+        board.append(0, 1, 6, 1.0, PostKind.VOTE)
+        board.append(0, 2, 6, 1.0, PostKind.VOTE)
+        board.append(0, 3, 6, 1.0, PostKind.VOTE)
+        view = BillboardView(board)
+        alt = AdviceAlternator(n_players=4)
+        picks = alt.advise(20, view, rng)
+        assert (picks == 6).all()
+
+    def test_no_votes_means_idle(self, rng):
+        board = Billboard(4, 8)
+        view = BillboardView(board)
+        alt = AdviceAlternator(n_players=4)
+        picks = alt.advise(10, view, rng)
+        assert (picks == -1).all()
+
+    def test_mixed_votes_sample_all_players(self, rng):
+        board = Billboard(2, 8)
+        board.append(0, 0, 3, 1.0, PostKind.VOTE)
+        view = BillboardView(board)
+        alt = AdviceAlternator(n_players=2)
+        picks = alt.advise(300, view, rng)
+        # advisor 0 -> object 3, advisor 1 -> no vote (-1)
+        values, counts = np.unique(picks, return_counts=True)
+        assert set(values) == {-1, 3}
+        # roughly half each (binomial, very loose bounds)
+        assert counts.min() > 75

@@ -1,0 +1,115 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_everything(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "E1" in out
+        assert "A4" in out
+        assert "distill" in out
+        assert "split-vote" in out
+
+
+class TestExperiment:
+    def test_runs_smoke_experiment(self, capsys):
+        code = main(["experiment", "E1", "--scale", "smoke", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "E1" in out
+        assert "PASS" in out
+
+    def test_writes_out_file(self, tmp_path, capsys):
+        path = tmp_path / "e1.txt"
+        main([
+            "experiment", "E1", "--scale", "smoke", "--out", str(path)
+        ])
+        capsys.readouterr()
+        assert "E1" in path.read_text()
+
+    def test_unknown_experiment_errors(self, capsys):
+        assert main(["experiment", "E99"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestRun:
+    def test_quick_cell(self, capsys):
+        code = main([
+            "run", "--n", "64", "--alpha", "0.75", "--trials", "4",
+            "--adversary", "flood",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "mean individual rounds" in out
+        assert "success rate" in out
+
+    def test_no_adversary(self, capsys):
+        code = main([
+            "run", "--n", "64", "--trials", "4", "--adversary", "none"
+        ])
+        assert code == 0
+        capsys.readouterr()
+
+    def test_strategy_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--strategy", "nope"])
+
+
+class TestGauntlet:
+    def test_all_adversaries_reported(self, capsys):
+        code = main([
+            "gauntlet", "--n", "64", "--alpha", "0.5", "--trials", "3"
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        for name in ("silent", "flood", "split-vote", "mimic"):
+            assert name in out
+
+
+class TestBounds:
+    def test_prints_theory_card(self, capsys):
+        assert main(["bounds", "--n", "256", "--alpha", "0.9"]) == 0
+        out = capsys.readouterr().out
+        assert "theory card" in out
+        assert "Thm 4" in out
+
+    def test_alpha_one_renders_inf_delta(self, capsys):
+        assert main(["bounds", "--alpha", "1.0"]) == 0
+        assert "inf" in capsys.readouterr().out
+
+
+class TestShow:
+    def test_renders_dashboard(self, capsys):
+        code = main(["show", "--n", "64", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "satisfaction curve" in out
+        assert "billboard timeline" in out
+
+    def test_no_adversary(self, capsys):
+        code = main(["show", "--n", "64", "--adversary", "none"])
+        assert code == 0
+        capsys.readouterr()
+
+
+class TestReport:
+    def test_report_to_stdout(self, capsys):
+        code = main(["report", "--ids", "E1", "--scale", "smoke"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "# Reproduction report" in out
+        assert "## E1" in out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        path = tmp_path / "report.md"
+        code = main([
+            "report", "--ids", "E1", "--scale", "smoke",
+            "--out", str(path),
+        ])
+        capsys.readouterr()
+        assert code == 0
+        assert "## E1" in path.read_text()

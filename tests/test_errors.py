@@ -1,0 +1,44 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    AdversaryViolationError,
+    BillboardError,
+    BudgetExceededError,
+    ConfigurationError,
+    InvalidPostError,
+    ReproError,
+    SimulationError,
+    TamperError,
+)
+
+
+class TestHierarchy:
+    def test_everything_is_a_repro_error(self):
+        for exc in (
+            ConfigurationError,
+            BillboardError,
+            TamperError,
+            InvalidPostError,
+            SimulationError,
+            BudgetExceededError,
+            AdversaryViolationError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_billboard_family(self):
+        assert issubclass(TamperError, BillboardError)
+        assert issubclass(InvalidPostError, BillboardError)
+
+    def test_simulation_family(self):
+        assert issubclass(BudgetExceededError, SimulationError)
+        assert issubclass(AdversaryViolationError, SimulationError)
+
+    def test_catching_the_base_works(self):
+        with pytest.raises(ReproError):
+            raise TamperError("rewrite attempt")
+
+    def test_library_errors_are_not_builtin_ones(self):
+        """Catching ReproError must not swallow programming errors."""
+        assert not issubclass(ReproError, (ValueError, TypeError))

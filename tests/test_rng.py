@@ -1,0 +1,73 @@
+"""Tests for randomness plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.rng import (
+    RngFactory,
+    choice_or_none,
+    make_generator,
+    make_seed_sequence,
+)
+
+
+class TestSeeding:
+    def test_same_seed_same_stream(self):
+        a = make_generator(42).random(5)
+        b = make_generator(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_sequence_seed_accepted(self):
+        gen = make_generator([1, 2, 3])
+        assert 0 <= gen.random() < 1
+
+    def test_seed_sequence_passthrough(self):
+        seq = np.random.SeedSequence(5)
+        assert make_seed_sequence(seq) is seq
+
+
+class TestFactory:
+    def test_spawn_order_determines_streams(self):
+        f1 = RngFactory.from_seed(7)
+        f2 = RngFactory.from_seed(7)
+        assert np.array_equal(
+            f1.spawn_generator().random(4), f2.spawn_generator().random(4)
+        )
+
+    def test_spawned_streams_differ(self):
+        factory = RngFactory.from_seed(7)
+        a = factory.spawn_generator().random(4)
+        b = factory.spawn_generator().random(4)
+        assert not np.array_equal(a, b)
+
+    def test_child_factories_independent(self):
+        factory = RngFactory.from_seed(3)
+        kids = list(factory.trial_factories(3))
+        streams = [k.spawn_generator().random(4) for k in kids]
+        assert not np.array_equal(streams[0], streams[1])
+        assert not np.array_equal(streams[1], streams[2])
+
+    def test_trial_factories_reproducible(self):
+        def streams(seed):
+            factory = RngFactory.from_seed(seed)
+            return [
+                k.spawn_generator().random(3)
+                for k in factory.trial_factories(2)
+            ]
+
+        a, b = streams(11), streams(11)
+        assert all(np.array_equal(x, y) for x, y in zip(a, b))
+
+
+class TestChoiceOrNone:
+    def test_empty_pool(self, rng):
+        assert choice_or_none(rng, np.array([], dtype=np.int64)) is None
+
+    def test_single_element(self, rng):
+        assert choice_or_none(rng, np.array([7])) == 7
+
+    def test_uniformity_rough(self, rng):
+        pool = np.array([0, 1])
+        picks = [choice_or_none(rng, pool) for _ in range(400)]
+        ones = sum(picks)
+        assert 120 < ones < 280

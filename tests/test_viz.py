@@ -1,0 +1,112 @@
+"""Tests for the terminal visualizations."""
+
+import numpy as np
+import pytest
+
+from repro.adversaries.flood import FloodAdversary
+from repro.core.distill import DistillStrategy
+from repro.errors import ConfigurationError
+from repro.sim.engine import SynchronousEngine
+from repro.viz import (
+    billboard_timeline,
+    candidate_trajectory,
+    compare_series,
+    render_run,
+    satisfaction_curve,
+)
+from repro.world.generators import planted_instance
+
+
+@pytest.fixture(scope="module")
+def finished_run():
+    inst = planted_instance(
+        n=64, m=64, beta=1 / 16, alpha=0.6,
+        rng=np.random.default_rng(5),
+    )
+    engine = SynchronousEngine(
+        inst,
+        DistillStrategy(),
+        adversary=FloodAdversary(),
+        rng=np.random.default_rng(6),
+        adversary_rng=np.random.default_rng(7),
+    )
+    metrics = engine.run()
+    return engine, metrics
+
+
+class TestSatisfactionCurve:
+    def test_mentions_rounds_and_percent(self, finished_run):
+        _engine, metrics = finished_run
+        out = satisfaction_curve(metrics)
+        assert "round" in out
+        assert "%" in out
+
+    def test_final_row_is_full(self, finished_run):
+        _engine, metrics = finished_run
+        out = satisfaction_curve(metrics)
+        assert "100.0%" in out
+
+    def test_monotone_bars(self, finished_run):
+        _engine, metrics = finished_run
+        rows = satisfaction_curve(metrics).splitlines()[1:]
+        fills = [row.count("#") for row in rows]
+        assert fills == sorted(fills)
+
+
+class TestCandidateTrajectory:
+    def test_shows_attempts(self, finished_run):
+        _engine, metrics = finished_run
+        out = candidate_trajectory(metrics)
+        assert "ATTEMPT 1" in out
+        assert "|S|=" in out
+
+    def test_handles_missing_info(self, finished_run):
+        _engine, metrics = finished_run
+        from repro.sim.metrics import RunMetrics
+
+        bare = RunMetrics(
+            honest_mask=metrics.honest_mask,
+            probes=metrics.probes,
+            paid=metrics.paid,
+            satisfied_round=metrics.satisfied_round,
+            halted_round=metrics.halted_round,
+            rounds=metrics.rounds,
+            all_honest_satisfied=True,
+            strategy_info={},
+        )
+        assert "no candidate trajectory" in candidate_trajectory(bare)
+
+
+class TestBillboardTimeline:
+    def test_shows_both_parties(self, finished_run):
+        engine, _metrics = finished_run
+        out = billboard_timeline(engine)
+        assert "#" in out  # honest votes
+        assert "x" in out  # byzantine votes
+
+    def test_empty_board(self):
+        inst = planted_instance(
+            n=8, m=8, beta=0.25, alpha=1.0, rng=np.random.default_rng(0)
+        )
+        engine = SynchronousEngine(inst, DistillStrategy())
+        assert "no votes" in billboard_timeline(engine)
+
+
+class TestRenderRun:
+    def test_contains_all_sections(self, finished_run):
+        engine, metrics = finished_run
+        out = render_run(engine, metrics)
+        assert "satisfaction curve" in out
+        assert "candidate trajectory" in out
+        assert "billboard timeline" in out
+        assert "success=True" in out
+
+
+class TestCompareSeries:
+    def test_delegates_to_table_renderer(self):
+        out = compare_series("n", [1, 2], {"a": [1.0, 2.0]})
+        assert "n=1" in out
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            compare_series("n", [1], {})

@@ -1,0 +1,130 @@
+"""Tests for instance generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.world.generators import (
+    cost_class_instance,
+    explicit_instance,
+    planted_instance,
+    valued_instance,
+)
+
+
+class TestPlanted:
+    def test_shapes_and_fractions(self, rng):
+        inst = planted_instance(n=40, m=80, beta=0.1, alpha=0.5, rng=rng)
+        assert inst.n == 40
+        assert inst.m == 80
+        assert inst.space.good_mask.sum() == 8
+        assert inst.n_honest == 20
+
+    def test_values_are_binary(self, rng):
+        inst = planted_instance(n=10, m=20, beta=0.25, alpha=1.0, rng=rng)
+        assert set(np.unique(inst.space.values)) <= {0.0, 1.0}
+
+    def test_local_testing_supported(self, rng):
+        inst = planted_instance(n=10, m=20, beta=0.25, alpha=1.0, rng=rng)
+        assert inst.space.supports_local_testing
+        good = inst.space.good_ids[0]
+        assert inst.space.passes_local_test(int(good))
+
+    def test_at_least_one_good(self, rng):
+        inst = planted_instance(n=4, m=1000, beta=1e-9, alpha=1.0, rng=rng)
+        assert inst.space.good_mask.sum() == 1
+
+    def test_rejects_bad_beta(self, rng):
+        with pytest.raises(ConfigurationError):
+            planted_instance(n=4, m=8, beta=0.0, alpha=1.0, rng=rng)
+
+    def test_good_placement_varies_with_seed(self):
+        a = planted_instance(
+            n=4, m=64, beta=1 / 64, alpha=1.0, rng=np.random.default_rng(1)
+        )
+        b = planted_instance(
+            n=4, m=64, beta=1 / 64, alpha=1.0, rng=np.random.default_rng(2)
+        )
+        assert a.space.good_ids[0] != b.space.good_ids[0]
+
+
+class TestValued:
+    def test_good_set_is_top_beta(self, rng):
+        inst = valued_instance(n=10, m=40, beta=0.25, alpha=0.5, rng=rng)
+        values = inst.space.values
+        good_values = values[inst.space.good_mask]
+        bad_values = values[~inst.space.good_mask]
+        assert good_values.min() >= bad_values.max()
+
+    def test_no_local_testing(self, rng):
+        inst = valued_instance(n=10, m=40, beta=0.25, alpha=0.5, rng=rng)
+        assert not inst.space.supports_local_testing
+
+    def test_good_count(self, rng):
+        inst = valued_instance(n=10, m=40, beta=0.25, alpha=0.5, rng=rng)
+        assert inst.space.good_mask.sum() == 10
+
+
+class TestCostClass:
+    def test_costs_are_powers_of_two(self, rng):
+        inst = cost_class_instance(
+            n=16, class_sizes=[4, 4, 4], good_class=1, alpha=0.5, rng=rng
+        )
+        assert np.array_equal(
+            np.unique(inst.space.costs), [1.0, 2.0, 4.0]
+        )
+
+    def test_good_in_requested_class(self, rng):
+        inst = cost_class_instance(
+            n=16, class_sizes=[4, 4, 4], good_class=2, alpha=0.5, rng=rng
+        )
+        good = int(inst.space.good_ids[0])
+        assert inst.space.cost_class_of(good) == 2
+        assert inst.space.cheapest_good_cost == 4.0
+
+    def test_multiple_goods(self, rng):
+        inst = cost_class_instance(
+            n=16,
+            class_sizes=[8, 8],
+            good_class=0,
+            alpha=0.5,
+            rng=rng,
+            goods_in_class=3,
+        )
+        assert inst.space.good_mask.sum() == 3
+
+    def test_rejects_bad_class_index(self, rng):
+        with pytest.raises(ConfigurationError):
+            cost_class_instance(
+                n=4, class_sizes=[4], good_class=1, alpha=0.5, rng=rng
+            )
+
+    def test_rejects_overfull_goods(self, rng):
+        with pytest.raises(ConfigurationError):
+            cost_class_instance(
+                n=4,
+                class_sizes=[2],
+                good_class=0,
+                alpha=0.5,
+                rng=rng,
+                goods_in_class=3,
+            )
+
+    def test_rejects_empty_spec(self, rng):
+        with pytest.raises(ConfigurationError):
+            cost_class_instance(
+                n=4, class_sizes=[], good_class=0, alpha=0.5, rng=rng
+            )
+
+
+class TestExplicit:
+    def test_wraps_arrays(self):
+        inst = explicit_instance(
+            values=np.array([1.0, 0.0]),
+            good_mask=np.array([True, False]),
+            honest_mask=np.array([True, True, False]),
+            good_threshold=0.5,
+        )
+        assert inst.n == 3
+        assert inst.m == 2
+        assert inst.space.unit_costs

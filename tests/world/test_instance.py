@@ -1,0 +1,77 @@
+"""Tests for Instance and role assignment."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.world.instance import Instance, roles_from_alpha
+from repro.world.objects import ObjectSpace
+
+
+def space():
+    return ObjectSpace(
+        np.array([1.0, 0.0]), np.ones(2), np.array([True, False]), 0.5
+    )
+
+
+class TestInstance:
+    def test_counts_and_fractions(self):
+        inst = Instance(space(), np.array([True, True, False, False]))
+        assert inst.n == 4
+        assert inst.alpha == 0.5
+        assert inst.n_honest == 2
+        assert inst.n_dishonest == 2
+
+    def test_ids_partition_players(self):
+        inst = Instance(space(), np.array([True, False, True]))
+        assert np.array_equal(inst.honest_ids, [0, 2])
+        assert np.array_equal(inst.dishonest_ids, [1])
+
+    def test_beta_delegates_to_space(self):
+        inst = Instance(space(), np.array([True]))
+        assert inst.beta == 0.5
+
+    def test_rejects_all_dishonest(self):
+        with pytest.raises(ConfigurationError):
+            Instance(space(), np.array([False, False]))
+
+    def test_rejects_empty_mask(self):
+        with pytest.raises(ConfigurationError):
+            Instance(space(), np.array([], dtype=bool))
+
+    def test_describe_mentions_parameters(self):
+        inst = Instance(space(), np.array([True, False]))
+        text = inst.describe()
+        assert "alpha=0.5" in text
+        assert "n=2" in text
+
+
+class TestRolesFromAlpha:
+    def test_count_rounds(self, rng):
+        mask = roles_from_alpha(10, 0.75, rng=rng)
+        assert mask.sum() == 8  # round(7.5)
+
+    def test_at_least_one_honest(self, rng):
+        mask = roles_from_alpha(10, 0.01, rng=rng)
+        assert mask.sum() == 1
+
+    def test_alpha_one_all_honest(self, rng):
+        assert roles_from_alpha(5, 1.0, rng=rng).all()
+
+    def test_unshuffled_prefix(self):
+        mask = roles_from_alpha(6, 0.5, shuffle=False)
+        assert np.array_equal(mask, [1, 1, 1, 0, 0, 0])
+
+    def test_shuffle_requires_rng(self):
+        with pytest.raises(ConfigurationError):
+            roles_from_alpha(6, 0.5, shuffle=True)
+
+    def test_rejects_bad_alpha(self, rng):
+        with pytest.raises(ConfigurationError):
+            roles_from_alpha(6, 0.0, rng=rng)
+        with pytest.raises(ConfigurationError):
+            roles_from_alpha(6, 1.5, rng=rng)
+
+    def test_rejects_bad_n(self, rng):
+        with pytest.raises(ConfigurationError):
+            roles_from_alpha(0, 0.5, rng=rng)

@@ -1,0 +1,147 @@
+"""Tests for ObjectSpace."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.world.objects import ObjectSpace
+
+
+def make_space(values=None, costs=None, good=None, threshold=0.5):
+    if values is None:
+        values = np.array([1.0, 0.0, 0.0, 1.0])
+    if costs is None:
+        costs = np.ones_like(values)
+    if good is None:
+        good = np.asarray(values) >= 0.5
+    return ObjectSpace(values, costs, good, good_threshold=threshold)
+
+
+class TestValidation:
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            make_space(values=np.array([]), good=np.array([], dtype=bool))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            ObjectSpace(
+                np.ones(3), np.ones(4), np.ones(3, dtype=bool), 0.5
+            )
+
+    def test_rejects_negative_values(self):
+        with pytest.raises(ConfigurationError):
+            make_space(values=np.array([-1.0, 1.0]))
+
+    def test_rejects_negative_costs(self):
+        with pytest.raises(ConfigurationError):
+            make_space(costs=np.array([1.0, -1.0, 1.0, 1.0]))
+
+    def test_rejects_no_good_objects(self):
+        with pytest.raises(ConfigurationError):
+            make_space(
+                values=np.zeros(4), good=np.zeros(4, dtype=bool)
+            )
+
+    def test_rejects_inconsistent_threshold(self):
+        with pytest.raises(ConfigurationError):
+            ObjectSpace(
+                np.array([1.0, 0.0]),
+                np.ones(2),
+                np.array([True, True]),  # claims both good
+                good_threshold=0.5,
+            )
+
+    def test_threshold_none_skips_consistency(self):
+        space = ObjectSpace(
+            np.array([0.9, 0.1]),
+            np.ones(2),
+            np.array([True, False]),
+            good_threshold=None,
+        )
+        assert not space.supports_local_testing
+
+
+class TestProperties:
+    def test_m_and_beta(self):
+        space = make_space()
+        assert space.m == 4
+        assert space.beta == 0.5
+
+    def test_good_ids_sorted(self):
+        space = make_space()
+        assert np.array_equal(space.good_ids, [0, 3])
+
+    def test_unit_costs_flag(self):
+        assert make_space().unit_costs
+        assert not make_space(costs=np.array([1.0, 2.0, 1.0, 1.0])).unit_costs
+
+    def test_cheapest_good_cost(self):
+        space = make_space(costs=np.array([8.0, 1.0, 1.0, 2.0]))
+        assert space.cheapest_good_cost == 2.0
+
+    def test_is_good_ground_truth(self):
+        space = make_space()
+        assert space.is_good(0)
+        assert not space.is_good(1)
+
+    def test_local_test_matches_threshold(self):
+        space = make_space()
+        assert space.passes_local_test(3)
+        assert not space.passes_local_test(2)
+
+    def test_local_test_without_threshold_raises(self):
+        space = ObjectSpace(
+            np.array([0.9, 0.1]),
+            np.ones(2),
+            np.array([True, False]),
+            good_threshold=None,
+        )
+        with pytest.raises(ConfigurationError):
+            space.passes_local_test(0)
+
+
+class TestCostClasses:
+    def space(self):
+        return make_space(costs=np.array([1.0, 2.0, 3.5, 4.0]))
+
+    def test_class_of(self):
+        space = self.space()
+        assert space.cost_class_of(0) == 0
+        assert space.cost_class_of(1) == 1
+        assert space.cost_class_of(2) == 1
+        assert space.cost_class_of(3) == 2
+
+    def test_class_members(self):
+        space = self.space()
+        assert np.array_equal(space.cost_class_members(1), [1, 2])
+
+    def test_n_cost_classes(self):
+        assert self.space().n_cost_classes() == 3
+
+    def test_sub_unit_cost_rejected(self):
+        space = make_space(costs=np.array([0.5, 1.0, 1.0, 1.0]))
+        with pytest.raises(ConfigurationError):
+            space.cost_class_of(0)
+        with pytest.raises(ConfigurationError):
+            space.n_cost_classes()
+
+
+class TestTopBeta:
+    def test_top_beta_mask_counts(self):
+        space = ObjectSpace(
+            np.array([0.9, 0.5, 0.7, 0.1]),
+            np.ones(4),
+            np.array([True, False, True, False]),
+            good_threshold=None,
+        )
+        mask = space.top_beta_mask(0.5)
+        assert mask.sum() == 2
+        assert mask[0] and mask[2]
+
+    def test_top_beta_at_least_one(self):
+        space = make_space()
+        assert space.top_beta_mask(1e-9).sum() == 1
+
+    def test_top_beta_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            make_space().top_beta_mask(0.0)

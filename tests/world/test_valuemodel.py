@@ -1,0 +1,95 @@
+"""Tests for per-player observation models."""
+
+import numpy as np
+import pytest
+
+from repro.world.objects import ObjectSpace
+from repro.world.valuemodel import (
+    NoisyValueModel,
+    SpoofedValueModel,
+    TrueValueModel,
+    constant_spoof_table,
+)
+
+
+@pytest.fixture
+def space():
+    return ObjectSpace(
+        np.array([1.0, 0.0, 0.0, 1.0]),
+        np.ones(4),
+        np.array([True, False, False, True]),
+        good_threshold=0.5,
+    )
+
+
+class TestTrueModel:
+    def test_observe_single(self, space):
+        model = TrueValueModel(space)
+        assert model.observe(0, 0) == 1.0
+        assert model.observe(5, 1) == 0.0
+
+    def test_observe_many_vectorized(self, space):
+        model = TrueValueModel(space)
+        out = model.observe_many(np.array([0, 1]), np.array([0, 1]))
+        assert np.array_equal(out, [1.0, 0.0])
+
+
+class TestSpoofedModel:
+    def test_spoofed_player_sees_table(self, space):
+        table = constant_spoof_table(space, np.array([1]))
+        model = SpoofedValueModel(space, {2: table})
+        assert model.observe(2, 1) == 1.0
+        assert model.observe(2, 0) == 0.0
+
+    def test_unspoofed_player_sees_truth(self, space):
+        model = SpoofedValueModel(space, {2: constant_spoof_table(space, [1])})
+        assert model.observe(0, 1) == 0.0
+        assert model.observe(0, 0) == 1.0
+
+    def test_observe_many_mixes_models(self, space):
+        table = constant_spoof_table(space, np.array([1]))
+        model = SpoofedValueModel(space, {2: table})
+        out = model.observe_many(np.array([0, 2]), np.array([1, 1]))
+        assert np.array_equal(out, [0.0, 1.0])
+
+    def test_rejects_bad_table_shape(self, space):
+        with pytest.raises(ValueError):
+            SpoofedValueModel(space, {0: np.zeros(3)})
+
+
+class TestNoisyModel:
+    def test_zero_rate_is_truth(self, space, rng):
+        model = NoisyValueModel(space, rng, error_rate=0.0, lure_value=1.0)
+        objs = np.array([0, 1, 2, 3])
+        out = model.observe_many(np.zeros(4, dtype=int), objs)
+        assert np.array_equal(out, space.values[objs])
+
+    def test_good_objects_never_lured(self, space, rng):
+        model = NoisyValueModel(space, rng, error_rate=0.99, lure_value=7.0)
+        for _ in range(50):
+            assert model.observe(0, 0) == 1.0
+
+    def test_bad_objects_sometimes_lured(self, space, rng):
+        model = NoisyValueModel(space, rng, error_rate=0.5, lure_value=7.0)
+        out = [model.observe(0, 1) for _ in range(200)]
+        assert 7.0 in out
+        assert 0.0 in out
+
+    def test_rejects_bad_rate(self, space, rng):
+        with pytest.raises(ValueError):
+            NoisyValueModel(space, rng, error_rate=1.0, lure_value=1.0)
+
+    def test_observe_many_rate_approximate(self, space, rng):
+        model = NoisyValueModel(space, rng, error_rate=0.3, lure_value=9.0)
+        objs = np.full(4000, 1)
+        out = model.observe_many(np.zeros(4000, dtype=int), objs)
+        rate = float((out == 9.0).mean())
+        assert 0.2 < rate < 0.4
+
+
+class TestSpoofTableHelper:
+    def test_high_low_values(self, space):
+        table = constant_spoof_table(space, [0, 2], high=5.0, low=1.0)
+        assert table[0] == 5.0
+        assert table[2] == 5.0
+        assert table[1] == 1.0
