@@ -13,7 +13,7 @@ import os
 import pytest
 
 from repro.experiments import run_experiment
-from repro.experiments.config import Scale
+from repro.experiments.config import JOBS_ENV_VAR, Scale, set_default_n_jobs
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
@@ -21,6 +21,10 @@ RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 #: pass (e.g. on CI smoke jobs)
 BENCH_SCALE = Scale(os.environ.get("REPRO_BENCH_SCALE", "full"))
 BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
+#: Monte-Carlo worker processes for every experiment bench; results are
+#: bit-identical for any value (see repro.sim.runner.run_trials)
+BENCH_JOBS = int(os.environ.get(JOBS_ENV_VAR, "1"))
+set_default_n_jobs(BENCH_JOBS)
 
 
 @pytest.fixture(scope="session")

@@ -16,12 +16,22 @@ re-derives the chain and fails loudly if any stored post was mutated
 behind the API's back — e.g. by test code or a buggy strategy poking at
 internals. The model's adversary never gets this power; the chain is a
 guard-rail for the *implementation*.
+
+The chain is **lazily materialized**: each append snapshots the post's
+canonical field string (cheap) and defers all SHA-256 work until the
+first :attr:`Billboard.head_digest` or
+:meth:`Billboard.verify_integrity` access, at which point the pending
+snapshots are folded in append order. The materialized digest is
+bit-identical to eager per-append chaining, and because the fold runs
+over the *snapshots* — not the live ``Post`` objects — an out-of-API
+mutation between append and materialization is still detected.
 """
 
 from __future__ import annotations
 
 import hashlib
-from typing import Iterator, List, Optional
+from itertools import takewhile
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -32,14 +42,26 @@ from repro.errors import InvalidPostError, TamperError
 #: digest of the empty board (the chain's genesis value)
 GENESIS_DIGEST = hashlib.sha256(b"repro-billboard-genesis").hexdigest()
 
+#: one batch entry for :meth:`Billboard.append_many`
+Entry = Tuple[int, int, float, PostKind]
+
+
+def _post_fields(post: Post) -> str:
+    """Canonical field string of one post (the chained payload's suffix)."""
+    return (
+        f"{post.seq}|{post.round_no}|{post.player}|"
+        f"{post.object_id}|{post.reported_value!r}|{post.kind.value}"
+    )
+
+
+def _fold_digest(previous: str, fields: str) -> str:
+    """Fold one canonical field string onto the previous digest."""
+    return hashlib.sha256(f"{previous}|{fields}".encode()).hexdigest()
+
 
 def _chain_digest(previous: str, post: Post) -> str:
     """Digest of one post, chained onto the previous digest."""
-    payload = (
-        f"{previous}|{post.seq}|{post.round_no}|{post.player}|"
-        f"{post.object_id}|{post.reported_value!r}|{post.kind.value}"
-    )
-    return hashlib.sha256(payload.encode()).hexdigest()
+    return _fold_digest(previous, _post_fields(post))
 
 
 class Billboard:
@@ -70,7 +92,10 @@ class Billboard:
         self.n_objects = n_objects
         self._posts: List[Post] = []
         self._last_round = -1
-        self._head_digest = GENESIS_DIGEST
+        #: digest of the materialized prefix of the chain
+        self._digest = GENESIS_DIGEST
+        #: canonical field snapshots of posts not yet folded into _digest
+        self._pending_fields: List[str] = []
         self.ledger = VoteLedger(
             n_players,
             n_objects,
@@ -100,6 +125,66 @@ class Billboard:
             If the round number is earlier than an already-appended post
             (which would amount to rewriting history).
         """
+        self._validate_entry(round_no, player, object_id)
+        post = Post(
+            seq=len(self._posts),
+            round_no=round_no,
+            player=player,
+            object_id=object_id,
+            reported_value=float(reported_value),
+            kind=kind,
+        )
+        self._posts.append(post)
+        self._last_round = round_no
+        self._pending_fields.append(_post_fields(post))
+        if post.is_vote:
+            self.ledger.record(post)
+        return post
+
+    def append_many(
+        self, round_no: int, entries: Sequence[Entry]
+    ) -> List[Post]:
+        """Stamp, validate, and append a batch of posts for one round.
+
+        ``entries`` is a sequence of ``(player, object_id, reported_value,
+        kind)`` tuples. Equivalent to calling :meth:`append` once per entry
+        in order — same post sequence, same ledger state, same hash chain —
+        but the whole batch is validated *before* anything is appended
+        (all-or-nothing), and the per-call overhead of stamping and
+        digest bookkeeping is amortized over the batch.
+
+        Raises
+        ------
+        InvalidPostError, TamperError
+            Same conditions as :meth:`append`; on error the board is
+            unchanged.
+        """
+        if not entries:
+            return []
+        for player, object_id, _value, _kind in entries:
+            self._validate_entry(round_no, player, object_id)
+        base = len(self._posts)
+        posts = [
+            Post(
+                seq=base + offset,
+                round_no=round_no,
+                player=int(player),
+                object_id=int(object_id),
+                reported_value=float(value),
+                kind=kind,
+            )
+            for offset, (player, object_id, value, kind) in enumerate(entries)
+        ]
+        self._posts.extend(posts)
+        self._last_round = round_no
+        self._pending_fields.extend(_post_fields(p) for p in posts)
+        record = self.ledger.record
+        for post in posts:
+            if post.is_vote:
+                record(post)
+        return posts
+
+    def _validate_entry(self, round_no: int, player: int, object_id: int) -> None:
         if not 0 <= player < self.n_players:
             raise InvalidPostError(
                 f"unknown player identity {player} (n={self.n_players})"
@@ -115,32 +200,38 @@ class Billboard:
                 f"post stamped round {round_no} after round {self._last_round} "
                 "was already on the board (append-only violation)"
             )
-        post = Post(
-            seq=len(self._posts),
-            round_no=round_no,
-            player=player,
-            object_id=object_id,
-            reported_value=float(reported_value),
-            kind=kind,
-        )
-        self._posts.append(post)
-        self._last_round = round_no
-        self._head_digest = _chain_digest(self._head_digest, post)
-        if post.is_vote:
-            self.ledger.record(post)
-        return post
 
     # ------------------------------------------------------------------
     # Integrity
     # ------------------------------------------------------------------
     @property
     def head_digest(self) -> str:
-        """Digest of the whole log (changes with every append)."""
-        return self._head_digest
+        """Digest of the whole log (changes with every append).
+
+        Materializes any deferred chain segments on access; the value is
+        bit-identical to eager per-append chaining.
+        """
+        self._materialize_digest()
+        return self._digest
+
+    def _materialize_digest(self) -> None:
+        """Fold pending field snapshots into the running digest."""
+        if self._pending_fields:
+            digest = self._digest
+            for fields in self._pending_fields:
+                digest = _fold_digest(digest, fields)
+            self._digest = digest
+            self._pending_fields.clear()
 
     def verify_integrity(self) -> None:
         """Re-derive the hash chain; raise :class:`TamperError` on any
-        discrepancy between the stored posts and the running digest."""
+        discrepancy between the stored posts and the running digest.
+
+        The comparison digest is materialized from the field snapshots
+        taken at append time, so a post mutated after its append is
+        detected even if :attr:`head_digest` was never read before the
+        mutation.
+        """
         digest = GENESIS_DIGEST
         last_round = -1
         for index, post in enumerate(self._posts):
@@ -155,7 +246,7 @@ class Billboard:
                 )
             last_round = post.round_no
             digest = _chain_digest(digest, post)
-        if digest != self._head_digest:
+        if digest != self.head_digest:
             raise TamperError(
                 "billboard hash chain mismatch: a stored post was mutated "
                 "outside the append API"
@@ -184,19 +275,27 @@ class Billboard:
         player: Optional[int] = None,
         before_round: Optional[int] = None,
     ) -> List[Post]:
-        """Filtered copy of the log, preserving order.
+        """The log in append order, optionally filtered in a single pass.
 
         ``before_round`` keeps only posts stamped strictly earlier — the
-        honest player's view at the start of that round.
+        honest player's view at the start of that round. Rounds are
+        non-decreasing, so the scan stops at the horizon instead of
+        walking the whole log.
+
+        With no filter the internal list is returned directly (posts are
+        immutable and the log is append-only); treat it as read-only.
         """
-        selected = self._posts
+        if kind is None and player is None and before_round is None:
+            return self._posts
+        source: Iterable[Post] = self._posts
         if before_round is not None:
-            selected = [p for p in selected if p.round_no < before_round]
-        if kind is not None:
-            selected = [p for p in selected if p.kind is kind]
-        if player is not None:
-            selected = [p for p in selected if p.player == player]
-        return list(selected)
+            source = takewhile(lambda p: p.round_no < before_round, source)
+        return [
+            p
+            for p in source
+            if (kind is None or p.kind is kind)
+            and (player is None or p.player == player)
+        ]
 
     def vote_posts(self, before_round: Optional[int] = None) -> List[Post]:
         """All vote posts (effective or not) in append order."""

@@ -33,7 +33,13 @@ class BillboardView:
         Exclusive visibility horizon: only posts with
         ``round_no < before_round`` are visible. ``None`` means the whole
         board (the adversary's end-of-round view).
+
+    Views are throwaway (the engine builds one per round per observer), so
+    they carry no state beyond the horizon — repeated queries at the same
+    horizon are served from the ledger's per-horizon memo, not cached here.
     """
+
+    __slots__ = ("_board", "before_round")
 
     def __init__(self, board: Billboard, before_round: Optional[int] = None) -> None:
         self._board = board

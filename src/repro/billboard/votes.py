@@ -27,7 +27,6 @@ Three vote modes appear in the paper:
 
 from __future__ import annotations
 
-import bisect
 import enum
 from typing import Dict, List, Optional, Tuple
 
@@ -35,6 +34,37 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.billboard.post import Post
+
+
+class _IntColumn:
+    """A growable ``int64`` column with amortized O(1) appends.
+
+    The ledger stores its effective-vote log as three of these (rounds,
+    players, objects) so that every query is a vectorized slice instead of
+    a Python walk. :meth:`view` returns a zero-copy window onto the filled
+    prefix; callers must not mutate it.
+    """
+
+    __slots__ = ("_buf", "_size")
+
+    def __init__(self, capacity: int = 64) -> None:
+        self._buf = np.empty(max(int(capacity), 1), dtype=np.int64)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def append(self, value: int) -> None:
+        if self._size == self._buf.shape[0]:
+            grown = np.empty(self._buf.shape[0] * 2, dtype=np.int64)
+            grown[: self._size] = self._buf[: self._size]
+            self._buf = grown
+        self._buf[self._size] = value
+        self._size += 1
+
+    def view(self) -> np.ndarray:
+        """Zero-copy read-only window onto the filled prefix."""
+        return self._buf[: self._size]
 
 
 class VoteMode(enum.Enum):
@@ -91,10 +121,11 @@ class VoteLedger:
         self.mode = mode
         self.max_votes_per_player = max_votes_per_player
 
-        # Effective votes in append order, as parallel columns.
-        self._rounds: List[int] = []
-        self._players: List[int] = []
-        self._objects: List[int] = []
+        # Effective votes in append order, as parallel numpy columns
+        # (rounds are non-decreasing, so horizon cuts are binary searches).
+        self._rounds = _IntColumn()
+        self._players = _IntColumn()
+        self._objects = _IntColumn()
 
         # Per-player effective vote targets (for MULTI advice and budgets).
         self._votes_by_player: List[List[int]] = [[] for _ in range(n_players)]
@@ -104,6 +135,11 @@ class VoteLedger:
 
         # Objects with >= 1 effective vote, in first-vote order.
         self._voted_objects: Dict[int, int] = {}
+
+        # Per-horizon query memo, invalidated on every effective record.
+        # Within one round the engine, tracker, and advice resolution all
+        # query the same horizon; the memo collapses those repeats.
+        self._memo: Dict[tuple, np.ndarray] = {}
 
     # ------------------------------------------------------------------
     # Recording
@@ -135,6 +171,7 @@ class VoteLedger:
             self._objects.append(obj)
             self._current_vote[player] = obj
             self._voted_objects.setdefault(obj, post.round_no)
+            self._memo.clear()
         return effective
 
     # ------------------------------------------------------------------
@@ -161,26 +198,41 @@ class VoteLedger:
         only needs one of the honest player's votes to be correct, and the
         first is the one cast by the protocol itself.
         """
+        key = ("current", before_round)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached.copy()
         if before_round is None:
             if self.mode is VoteMode.MULTI:
-                return self._first_vote_array(len(self._objects))
-            return self._current_vote.copy()
-        cutoff = self._count_before(before_round)
-        if self.mode is VoteMode.MULTI:
-            return self._first_vote_array(cutoff)
-        result = np.full(self.n_players, -1, dtype=np.int64)
-        # Walk forward so the latest vote before the cutoff wins (MUTABLE);
-        # in SINGLE mode there is at most one effective vote per player.
-        for idx in range(cutoff):
-            result[self._players[idx]] = self._objects[idx]
-        return result
+                result = self._first_vote_array(len(self._objects))
+            else:
+                result = self._current_vote.copy()
+        else:
+            cutoff = self._count_before(before_round)
+            if self.mode is VoteMode.MULTI:
+                result = self._first_vote_array(cutoff)
+            else:
+                # The latest vote before the cutoff wins (MUTABLE); in
+                # SINGLE mode there is at most one vote per player.
+                result = self._last_vote_array(cutoff)
+        self._memo[key] = result
+        return result.copy()
 
     def _first_vote_array(self, cutoff: int) -> np.ndarray:
         result = np.full(self.n_players, -1, dtype=np.int64)
-        for idx in range(cutoff):
-            player = self._players[idx]
-            if result[player] == -1:
-                result[player] = self._objects[idx]
+        players = self._players.view()[:cutoff]
+        if players.size:
+            uniq, first = np.unique(players, return_index=True)
+            result[uniq] = self._objects.view()[:cutoff][first]
+        return result
+
+    def _last_vote_array(self, cutoff: int) -> np.ndarray:
+        result = np.full(self.n_players, -1, dtype=np.int64)
+        players = self._players.view()[:cutoff][::-1]
+        if players.size:
+            # First occurrence in the reversed column = last vote overall.
+            uniq, first = np.unique(players, return_index=True)
+            result[uniq] = self._objects.view()[:cutoff][::-1][first]
         return result
 
     def objects_with_votes(self, before_round: Optional[int] = None) -> np.ndarray:
@@ -188,10 +240,17 @@ class VoteLedger:
 
         This is the candidate pool ``S`` of Step 1.2 of ATTEMPT.
         """
+        key = ("objects", before_round)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached.copy()
         if before_round is None:
-            return np.array(sorted(self._voted_objects), dtype=np.int64)
-        cutoff = self._count_before(before_round)
-        return np.unique(np.asarray(self._objects[:cutoff], dtype=np.int64))
+            cutoff = len(self._objects)
+        else:
+            cutoff = self._count_before(before_round)
+        result = np.unique(self._objects.view()[:cutoff])
+        self._memo[key] = result
+        return result.copy()
 
     def counts_in_window(self, start_round: int, end_round: int) -> np.ndarray:
         """Effective votes per object posted in rounds ``[start, end)``.
@@ -208,19 +267,26 @@ class VoteLedger:
             raise ConfigurationError(
                 f"empty-negative window [{start_round}, {end_round})"
             )
-        counts = np.zeros(self.n_objects, dtype=np.int64)
-        if self.mode is VoteMode.MUTABLE:
-            last_in_window: Dict[int, int] = {}
-            for idx in range(len(self._objects)):
-                if start_round <= self._rounds[idx] < end_round:
-                    last_in_window[self._players[idx]] = self._objects[idx]
-            for obj in last_in_window.values():
-                counts[obj] += 1
-            return counts
-        for idx in range(len(self._objects)):
-            if start_round <= self._rounds[idx] < end_round:
-                counts[self._objects[idx]] += 1
-        return counts
+        key = ("window", start_round, end_round)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached.copy()
+        rounds = self._rounds.view()
+        lo = int(np.searchsorted(rounds, start_round, side="left"))
+        hi = int(np.searchsorted(rounds, end_round, side="left"))
+        objects = self._objects.view()[lo:hi]
+        if self.mode is VoteMode.MUTABLE and objects.size:
+            players = self._players.view()[lo:hi][::-1]
+            _uniq, first = np.unique(players, return_index=True)
+            objects = objects[::-1][first]
+        if objects.size:
+            counts = np.bincount(
+                objects, minlength=self.n_objects
+            ).astype(np.int64, copy=False)
+        else:
+            counts = np.zeros(self.n_objects, dtype=np.int64)
+        self._memo[key] = counts
+        return counts.copy()
 
     def votes_cast_by(self, players: np.ndarray) -> int:
         """Total effective votes cast by the given player ids.
@@ -240,4 +306,6 @@ class VoteLedger:
         Rounds are appended in non-decreasing order, so binary search is
         exact.
         """
-        return bisect.bisect_left(self._rounds, before_round)
+        return int(
+            np.searchsorted(self._rounds.view(), before_round, side="left")
+        )

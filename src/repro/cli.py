@@ -33,6 +33,7 @@ from repro.experiments import (
     generate_report,
     run_experiment,
 )
+from repro.experiments.config import resolve_n_jobs, set_default_n_jobs
 from repro.experiments.tables import Table
 from repro.sim.engine import EngineConfig
 from repro.sim.runner import run_trials
@@ -45,6 +46,18 @@ STRATEGIES = {
     "async-ec04": AsyncEC04Strategy,
     "trivial": TrivialStrategy,
 }
+
+
+def _add_jobs_flag(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help=(
+            "Monte-Carlo worker processes (-1 = all cores; default: "
+            "REPRO_BENCH_JOBS or serial). Never changes results."
+        ),
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -64,6 +77,7 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--scale", choices=["smoke", "full"], default="smoke")
     exp.add_argument("--seed", type=int, default=0)
     exp.add_argument("--out", help="also write the table to this file")
+    _add_jobs_flag(exp)
 
     run = sub.add_parser("run", help="one Monte-Carlo cell")
     run.add_argument("--n", type=int, default=256)
@@ -80,6 +94,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--trials", type=int, default=16)
     run.add_argument("--seed", type=int, default=0)
+    _add_jobs_flag(run)
 
     bounds = sub.add_parser(
         "bounds", help="print the paper's bound curves at one point"
@@ -113,6 +128,7 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--scale", choices=["smoke", "full"], default="smoke")
     rep.add_argument("--seed", type=int, default=0)
     rep.add_argument("--out", help="write the report here (default stdout)")
+    _add_jobs_flag(rep)
 
     g = sub.add_parser("gauntlet", help="every adversary vs one strategy")
     g.add_argument("--n", type=int, default=256)
@@ -123,6 +139,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     g.add_argument("--trials", type=int, default=8)
     g.add_argument("--seed", type=int, default=0)
+    _add_jobs_flag(g)
     return parser
 
 
@@ -140,6 +157,8 @@ def cmd_list() -> int:
 
 
 def cmd_experiment(args: argparse.Namespace) -> int:
+    if args.jobs is not None:
+        set_default_n_jobs(args.jobs)
     result = run_experiment(args.experiment_id, args.scale, args.seed)
     rendered = result.render()
     print(rendered)
@@ -164,6 +183,7 @@ def _measure_cell(args, adversary_name: str):
         n_trials=args.trials,
         seed=(args.seed, len(adversary_name)),
         config=EngineConfig(max_rounds=1_000_000),
+        n_jobs=resolve_n_jobs(getattr(args, "jobs", None)),
     )
 
 
@@ -217,6 +237,8 @@ def cmd_show(args: argparse.Namespace) -> int:
 
 
 def cmd_report(args: argparse.Namespace) -> int:
+    if args.jobs is not None:
+        set_default_n_jobs(args.jobs)
     report = generate_report(
         experiment_ids=args.ids, scale=args.scale, seed=args.seed
     )

@@ -7,6 +7,7 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.adversaries.base import Adversary
+from repro.experiments.config import resolve_n_jobs
 from repro.sim.engine import EngineConfig
 from repro.sim.runner import TrialResults, run_trials
 from repro.strategies.base import Strategy
@@ -29,8 +30,14 @@ def measure(
     seed: int = 0,
     max_rounds: int = 500_000,
     config: Optional[EngineConfig] = None,
+    n_jobs: Optional[int] = None,
 ) -> TrialResults:
-    """``run_trials`` with the experiment-wide defaults."""
+    """``run_trials`` with the experiment-wide defaults.
+
+    ``n_jobs=None`` defers to the process-wide default (the CLI ``--jobs``
+    flag or the ``REPRO_BENCH_JOBS`` environment variable); results are
+    identical for every worker count.
+    """
     if config is None:
         config = EngineConfig(max_rounds=max_rounds)
     return run_trials(
@@ -40,4 +47,5 @@ def measure(
         n_trials=trials,
         seed=seed,
         config=config,
+        n_jobs=resolve_n_jobs(n_jobs),
     )

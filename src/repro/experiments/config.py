@@ -1,17 +1,61 @@
-"""Experiment results and scale presets.
+"""Experiment results, scale presets, and the worker-count default.
 
 ``Scale.SMOKE`` runs in seconds (used by the test suite to exercise every
 experiment end-to-end); ``Scale.FULL`` is what the benches run and what
 EXPERIMENTS.md records.
+
+The Monte-Carlo worker count used by every experiment's
+:func:`~repro.experiments.common.measure` call resolves here: an explicit
+``n_jobs`` argument wins, then :func:`set_default_n_jobs`, then the
+``REPRO_BENCH_JOBS`` environment variable, then serial. Parallelism never
+changes results (see :func:`repro.sim.runner.run_trials`), so the knob is
+process-wide state rather than a per-experiment parameter.
 """
 
 from __future__ import annotations
 
 import enum
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence
 
+from repro.errors import ConfigurationError
 from repro.experiments.tables import Table
+
+#: environment variable supplying the default Monte-Carlo worker count
+JOBS_ENV_VAR = "REPRO_BENCH_JOBS"
+
+_default_n_jobs: Optional[int] = None
+
+
+def default_n_jobs() -> int:
+    """The process-wide default worker count for trial execution.
+
+    Resolution order: :func:`set_default_n_jobs` override, then the
+    ``REPRO_BENCH_JOBS`` environment variable, then ``1`` (serial).
+    """
+    if _default_n_jobs is not None:
+        return _default_n_jobs
+    raw = os.environ.get(JOBS_ENV_VAR, "").strip()
+    if not raw:
+        return 1
+    try:
+        return int(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"{JOBS_ENV_VAR} must be an integer, got {raw!r}"
+        ) from None
+
+
+def set_default_n_jobs(n_jobs: Optional[int]) -> None:
+    """Override the process-wide worker default (``None`` restores env/1)."""
+    global _default_n_jobs
+    _default_n_jobs = n_jobs
+
+
+def resolve_n_jobs(n_jobs: Optional[int]) -> int:
+    """An explicit ``n_jobs`` wins; ``None`` falls back to the default."""
+    return default_n_jobs() if n_jobs is None else n_jobs
 
 
 class Scale(enum.Enum):

@@ -213,29 +213,42 @@ class SynchronousEngine:
                 vote_mask = np.asarray(vote_mask, dtype=bool)
                 halt_mask = np.asarray(halt_mask, dtype=bool)
 
-                for idx in np.flatnonzero(vote_mask):
-                    self.board.append(
+                vote_idx = np.flatnonzero(vote_mask)
+                if vote_idx.size:
+                    self.board.append_many(
                         round_no,
-                        int(probers[idx]),
-                        int(targets[idx]),
-                        float(values[idx]),
-                        PostKind.VOTE,
+                        [
+                            (
+                                int(probers[idx]),
+                                int(targets[idx]),
+                                float(values[idx]),
+                                PostKind.VOTE,
+                            )
+                            for idx in vote_idx
+                        ],
                     )
                     if self.trace is not None:
-                        self.trace.record(
-                            round_no,
-                            "vote",
-                            player=int(probers[idx]),
-                            object=int(targets[idx]),
-                        )
+                        for idx in vote_idx:
+                            self.trace.record(
+                                round_no,
+                                "vote",
+                                player=int(probers[idx]),
+                                object=int(targets[idx]),
+                            )
                 if self.config.record_reports:
-                    for idx in np.flatnonzero(~vote_mask):
-                        self.board.append(
+                    report_idx = np.flatnonzero(~vote_mask)
+                    if report_idx.size:
+                        self.board.append_many(
                             round_no,
-                            int(probers[idx]),
-                            int(targets[idx]),
-                            float(values[idx]),
-                            PostKind.REPORT,
+                            [
+                                (
+                                    int(probers[idx]),
+                                    int(targets[idx]),
+                                    float(values[idx]),
+                                    PostKind.REPORT,
+                                )
+                                for idx in report_idx
+                            ],
                         )
 
                 halters = probers[halt_mask]
@@ -284,23 +297,35 @@ class SynchronousEngine:
 
     # ------------------------------------------------------------------
     def _adversary_turn(self, round_no: int) -> None:
-        """Let the adversary post, validating identities."""
+        """Let the adversary post, validating identities.
+
+        The whole turn is validated before anything hits the board
+        (:meth:`~repro.billboard.board.Billboard.append_many` is
+        all-or-nothing), so a violating adversary leaves no partial
+        round behind.
+        """
         full_view = BillboardView(self.board, before_round=None)
         actions = self.adversary.act(round_no, full_view)
+        if not actions:
+            return
+        entries = []
         for action in actions:
             if int(action.player) not in self._dishonest_set:
                 raise AdversaryViolationError(
                     f"adversary {self.adversary.name!r} tried to post as "
                     f"player {action.player}, which it does not control"
                 )
-            self.board.append(
-                round_no,
-                int(action.player),
-                int(action.object_id),
-                float(action.claimed_value),
-                action.kind,
+            entries.append(
+                (
+                    int(action.player),
+                    int(action.object_id),
+                    float(action.claimed_value),
+                    action.kind,
+                )
             )
-            if self.trace is not None:
+        self.board.append_many(round_no, entries)
+        if self.trace is not None:
+            for action in actions:
                 self.trace.record(
                     round_no,
                     "adversary",

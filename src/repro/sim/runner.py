@@ -9,15 +9,27 @@ Factory-based design: the caller supplies callables that build the
 instance, strategy, and adversary for each trial, so that worlds can be
 resampled (expectations over the instance distribution, as in the Yao-style
 lower-bound experiments) or held fixed (expectations over coins only).
+
+Trials are independent by construction (each gets its own
+:class:`~repro.rng.RngFactory` child), so the runner can fan them out over
+a process pool (``n_jobs``): per-trial seed sequences are derived *before*
+dispatch, in trial order, and results are re-assembled in trial order, so
+the aggregated arrays are bit-identical to the serial path for the same
+seed regardless of ``n_jobs`` or chunking.
 """
 
 from __future__ import annotations
 
+import math
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.errors import ConfigurationError
 from repro.rng import RngFactory, SeedLike
 from repro.sim.engine import EngineConfig, SynchronousEngine
 from repro.sim.metrics import RunMetrics
@@ -31,6 +43,9 @@ InstanceFactory = Callable[[np.random.Generator], Instance]
 StrategyFactory = Callable[[], Strategy]
 AdversaryFactory = Callable[[], Optional["Adversary"]]
 ContextFactory = Callable[[Instance], Optional[StrategyContext]]
+
+#: one trial's outputs: (summary row, strategy info, kept metrics or None)
+_TrialRecord = Tuple[Dict[str, float], Dict[str, Any], Optional[RunMetrics]]
 
 
 @dataclass
@@ -48,6 +63,11 @@ class TrialResults:
 
     @property
     def n_trials(self) -> int:
+        if not self.per_trial:
+            raise ConfigurationError(
+                "TrialResults carries no per-trial data; it was built "
+                "from zero trials"
+            )
         key = next(iter(self.per_trial))
         return int(self.per_trial[key].shape[0])
 
@@ -77,6 +97,120 @@ class TrialResults:
         return f"{self.mean(key):.3f} ± {self.ci95(key):.3f} (95% CI)"
 
 
+def _execute_trial(
+    trial_factory: RngFactory,
+    make_instance: InstanceFactory,
+    make_strategy: StrategyFactory,
+    make_adversary: AdversaryFactory,
+    make_context: Optional[ContextFactory],
+    config: Optional[EngineConfig],
+    keep_metrics: bool,
+) -> _TrialRecord:
+    """Run one trial from its dedicated rng factory.
+
+    The spawn order below — world, honest coins, adversary coins, spare —
+    is a pinned contract (see the stream-order regression test): changing
+    it, or dropping the spare, shifts every seeded result in the suite.
+    """
+    world_rng = trial_factory.spawn_generator()
+    honest_rng = trial_factory.spawn_generator()
+    adversary_rng = trial_factory.spawn_generator()
+    trial_factory.spawn_generator()  # spare: reserved for future streams
+
+    instance = make_instance(world_rng)
+    strategy = make_strategy()
+    adversary = make_adversary()
+    ctx = make_context(instance) if make_context is not None else None
+
+    engine = SynchronousEngine(
+        instance,
+        strategy,
+        adversary=adversary,
+        rng=honest_rng,
+        adversary_rng=adversary_rng,
+        config=config,
+        ctx=ctx,
+    )
+    result = engine.run()
+    return (
+        result.summary(),
+        result.strategy_info,
+        result if keep_metrics else None,
+    )
+
+
+# ----------------------------------------------------------------------
+# Process-pool backend
+# ----------------------------------------------------------------------
+# The trial factories are plain callables (often closures), which do not
+# survive pickling. The pool therefore uses the ``fork`` start method:
+# the worker state is parked in this module-level slot immediately before
+# the pool forks, and children inherit it by memory snapshot. Only the
+# per-trial seed sequences travel through the pickle channel.
+_WORKER_STATE: Optional[Dict[str, Any]] = None
+
+
+def _run_trial_chunk(
+    chunk: List[Tuple[int, np.random.SeedSequence]],
+) -> List[Tuple[int, _TrialRecord]]:
+    state = _WORKER_STATE
+    if state is None:  # pragma: no cover - defends against misuse
+        raise RuntimeError("worker state missing; was the pool forked?")
+    return [
+        (index, _execute_trial(RngFactory(seed_sequence), **state))
+        for index, seed_sequence in chunk
+    ]
+
+
+def resolve_n_jobs(n_jobs: Optional[int]) -> int:
+    """Normalize an ``n_jobs`` knob: ``None``/1 → serial, ``-1`` → all cores."""
+    if n_jobs is None:
+        return 1
+    n_jobs = int(n_jobs)
+    if n_jobs == -1:
+        return max(os.cpu_count() or 1, 1)
+    if n_jobs < 1:
+        raise ConfigurationError(
+            f"n_jobs must be a positive integer or -1 (all cores), got {n_jobs}"
+        )
+    return n_jobs
+
+
+def _run_parallel(
+    trial_factories: List[RngFactory],
+    jobs: int,
+    chunk_size: Optional[int],
+    state: Dict[str, Any],
+) -> List[_TrialRecord]:
+    """Fan the trials out over a forked process pool, preserving order."""
+    indexed = [
+        (index, factory.seed_sequence)
+        for index, factory in enumerate(trial_factories)
+    ]
+    if chunk_size is None:
+        # ~4 chunks per worker: coarse enough to amortize dispatch,
+        # fine enough to keep stragglers from idling the pool.
+        chunk_size = max(1, math.ceil(len(indexed) / (jobs * 4)))
+    chunks = [
+        indexed[start : start + chunk_size]
+        for start in range(0, len(indexed), chunk_size)
+    ]
+    context = multiprocessing.get_context("fork")
+    global _WORKER_STATE
+    previous = _WORKER_STATE
+    _WORKER_STATE = state
+    try:
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(chunks)), mp_context=context
+        ) as pool:
+            chunk_results = list(pool.map(_run_trial_chunk, chunks))
+    finally:
+        _WORKER_STATE = previous
+    flat = [pair for chunk in chunk_results for pair in chunk]
+    flat.sort(key=lambda pair: pair[0])
+    return [record for _index, record in flat]
+
+
 def run_trials(
     make_instance: InstanceFactory,
     make_strategy: StrategyFactory,
@@ -86,41 +220,61 @@ def run_trials(
     config: Optional[EngineConfig] = None,
     make_context: Optional[ContextFactory] = None,
     keep_metrics: bool = False,
+    n_jobs: Optional[int] = None,
+    chunk_size: Optional[int] = None,
 ) -> TrialResults:
     """Run ``n_trials`` independent simulations and aggregate summaries.
 
     Each trial draws four independent generator streams (world, honest
     coins, adversary coins, spare) from a per-trial child of ``seed``, so
     results are reproducible and trials are statistically independent.
+    The spare stream is spawned but unused; it reserves a slot so future
+    stream additions do not shift existing seeded results.
+
+    Parameters
+    ----------
+    n_jobs:
+        Worker processes for trial execution. ``None`` or ``1`` runs
+        serially in-process; ``-1`` uses every core. Parallel execution
+        requires the ``fork`` start method (any Unix); where it is
+        unavailable the runner falls back to the serial path. Results are
+        bit-identical across all ``n_jobs`` values for the same seed.
+    chunk_size:
+        Trials per dispatched work unit (default: ~4 chunks per worker).
+        Affects scheduling only, never results.
     """
-    root = RngFactory.from_seed(seed)
-    rows: List[Dict[str, float]] = []
-    kept: List[RunMetrics] = []
-    infos: List[Dict[str, Any]] = []
-    for trial_factory in root.trial_factories(n_trials):
-        world_rng = trial_factory.spawn_generator()
-        honest_rng = trial_factory.spawn_generator()
-        adversary_rng = trial_factory.spawn_generator()
-
-        instance = make_instance(world_rng)
-        strategy = make_strategy()
-        adversary = make_adversary()
-        ctx = make_context(instance) if make_context is not None else None
-
-        engine = SynchronousEngine(
-            instance,
-            strategy,
-            adversary=adversary,
-            rng=honest_rng,
-            adversary_rng=adversary_rng,
-            config=config,
-            ctx=ctx,
+    if n_trials < 1:
+        raise ConfigurationError(
+            f"n_trials must be a positive integer, got {n_trials}"
         )
-        result = engine.run()
-        rows.append(result.summary())
-        infos.append(result.strategy_info)
-        if keep_metrics:
-            kept.append(result)
+    jobs = resolve_n_jobs(n_jobs)
+
+    root = RngFactory.from_seed(seed)
+    trial_factories = list(root.trial_factories(n_trials))
+    state: Dict[str, Any] = dict(
+        make_instance=make_instance,
+        make_strategy=make_strategy,
+        make_adversary=make_adversary,
+        make_context=make_context,
+        config=config,
+        keep_metrics=keep_metrics,
+    )
+
+    parallel = (
+        jobs > 1
+        and n_trials > 1
+        and "fork" in multiprocessing.get_all_start_methods()
+    )
+    if parallel:
+        records = _run_parallel(trial_factories, jobs, chunk_size, state)
+    else:
+        records = [
+            _execute_trial(factory, **state) for factory in trial_factories
+        ]
+
+    rows = [record[0] for record in records]
+    infos = [record[1] for record in records]
+    kept = [record[2] for record in records if record[2] is not None]
 
     keys = rows[0].keys()
     per_trial = {

@@ -2,10 +2,27 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.billboard.board import Billboard
 from repro.billboard.post import PostKind
 from repro.errors import InvalidPostError, TamperError
+
+#: the head digest of a fixed three-post history, recorded from the eager
+#: per-append chain before lazy materialization landed — must never change
+GOLDEN_DIGEST = (
+    "02ef530994b56ae56f4172b2401bb0c2e9a40e9d9c5811e78388b4d69039150c"
+)
+
+
+def _golden_entries():
+    """(round_no, player, object_id, value, kind) rows behind GOLDEN_DIGEST."""
+    return [
+        (0, 1, 2, 1.0, PostKind.VOTE),
+        (1, 2, 3, 0.25, PostKind.REPORT),
+        (3, 0, 1, -2.5, PostKind.VOTE),
+    ]
 
 
 class TestAppend:
@@ -162,6 +179,40 @@ class TestIntegrityChain:
         with pytest.raises(TamperError):
             board.verify_integrity()
 
+    def test_digest_matches_pre_lazy_golden(self):
+        b = Billboard(4, 4)
+        for round_no, player, obj, value, kind in _golden_entries():
+            b.append(round_no, player, obj, value, kind)
+        assert b.head_digest == GOLDEN_DIGEST
+
+    def test_mutation_before_materialization_detected(self, board):
+        """The lazy chain snapshots fields at append time, so tampering
+        with a stored post before the digest is ever read still fails."""
+        from repro.billboard.post import Post
+
+        board.append(0, 1, 2, 1.0, PostKind.VOTE)
+        original = board._posts[0]
+        board._posts[0] = Post(
+            seq=original.seq,
+            round_no=original.round_no,
+            player=original.player,
+            object_id=9,  # changed without reading head_digest first
+            reported_value=original.reported_value,
+            kind=original.kind,
+        )
+        with pytest.raises(TamperError):
+            board.verify_integrity()
+
+    def test_digest_independent_of_read_schedule(self):
+        """Polling head_digest mid-history must not change the final value."""
+        polled = Billboard(4, 4)
+        deferred = Billboard(4, 4)
+        for round_no, player, obj, value, kind in _golden_entries():
+            polled.append(round_no, player, obj, value, kind)
+            polled.head_digest
+            deferred.append(round_no, player, obj, value, kind)
+        assert deferred.head_digest == polled.head_digest == GOLDEN_DIGEST
+
     def test_full_run_board_verifies(self):
         import numpy as np
 
@@ -183,3 +234,95 @@ class TestIntegrityChain:
         )
         engine.run()
         engine.board.verify_integrity()
+
+
+class TestAppendMany:
+    def test_empty_batch_is_a_noop(self, board):
+        assert board.append_many(0, []) == []
+        assert len(board) == 0
+        assert board.last_round == -1
+
+    def test_batch_matches_per_post_appends(self):
+        eager = Billboard(4, 4)
+        batched = Billboard(4, 4)
+        for round_no, player, obj, value, kind in _golden_entries():
+            eager.append(round_no, player, obj, value, kind)
+            batched.append_many(round_no, [(player, obj, value, kind)])
+        assert list(batched) == list(eager)
+        assert batched.head_digest == eager.head_digest == GOLDEN_DIGEST
+
+    def test_sequential_seqs_across_batches(self, board):
+        board.append(0, 0, 0, 0.0, PostKind.REPORT)
+        posts = board.append_many(
+            1,
+            [(1, 1, 1.0, PostKind.VOTE), (2, 2, 0.0, PostKind.REPORT)],
+        )
+        assert [p.seq for p in posts] == [1, 2]
+        assert board[2].player == 2
+
+    def test_batch_feeds_ledger(self, board):
+        board.append_many(
+            0,
+            [(1, 5, 1.0, PostKind.VOTE), (2, 7, 0.0, PostKind.REPORT)],
+        )
+        votes = board.current_vote_array()
+        assert votes[1] == 5
+        assert votes[2] == -1  # reports never reach the ledger
+
+    def test_invalid_entry_leaves_board_unchanged(self, board):
+        """Validation is all-or-nothing: a bad entry anywhere in the batch
+        means nothing is appended."""
+        board.append(0, 0, 0, 0.0, PostKind.REPORT)
+        digest = board.head_digest
+        with pytest.raises(InvalidPostError):
+            board.append_many(
+                1,
+                [(1, 1, 1.0, PostKind.VOTE), (99, 2, 0.0, PostKind.REPORT)],
+            )
+        assert len(board) == 1
+        assert board.head_digest == digest
+        assert board.current_vote_array()[1] == -1
+
+    def test_round_regression_rejected(self, board):
+        board.append(4, 0, 0, 0.0, PostKind.REPORT)
+        with pytest.raises(TamperError):
+            board.append_many(3, [(1, 1, 1.0, PostKind.VOTE)])
+        assert len(board) == 1
+
+
+# ----------------------------------------------------------------------
+# Property: append_many + lazy chain ≡ eager per-post appends
+# ----------------------------------------------------------------------
+_entry = st.tuples(
+    st.integers(0, 7),
+    st.integers(0, 15),
+    st.sampled_from([0.0, 1.0, 0.25, -2.5]),
+    st.sampled_from([PostKind.VOTE, PostKind.REPORT]),
+)
+
+
+@given(st.lists(_entry, max_size=40), st.integers(1, 7))
+@settings(max_examples=80, deadline=None)
+def test_append_many_equivalent_to_eager_appends(entries, batch_size):
+    """Batched appends with deferred hashing must be indistinguishable
+    from per-post appends with the digest forced after every post: same
+    posts, same head digest, same ledger state, and a verifying chain."""
+    eager = Billboard(8, 16)
+    batched = Billboard(8, 16)
+    for start in range(0, len(entries), batch_size):
+        round_no = start // batch_size
+        batch = entries[start : start + batch_size]
+        for player, obj, value, kind in batch:
+            eager.append(round_no, player, obj, value, kind)
+            eager.head_digest  # force eager materialization per post
+        batched.append_many(round_no, batch)
+    assert list(batched) == list(eager)
+    assert batched.head_digest == eager.head_digest
+    assert np.array_equal(
+        batched.current_vote_array(), eager.current_vote_array()
+    )
+    assert np.array_equal(
+        batched.objects_with_votes(), eager.objects_with_votes()
+    )
+    batched.verify_integrity()
+    eager.verify_integrity()

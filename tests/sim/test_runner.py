@@ -3,9 +3,12 @@
 import numpy as np
 import pytest
 
+from repro.adversaries.silent import SilentAdversary
 from repro.baselines.trivial import TrivialStrategy
+from repro.errors import ConfigurationError
+from repro.rng import RngFactory
 from repro.sim.engine import EngineConfig
-from repro.sim.runner import run_trials
+from repro.sim.runner import TrialResults, resolve_n_jobs, run_trials
 from repro.world.generators import planted_instance
 
 
@@ -114,3 +117,160 @@ class TestContextFactory:
         )
         assert seen["alpha"] == 0.25
         assert res.n_trials == 1
+
+
+class TestGuards:
+    def test_zero_trials_rejected(self):
+        with pytest.raises(ConfigurationError, match="n_trials"):
+            run_trials(factory(), TrivialStrategy, n_trials=0, seed=0)
+
+    def test_negative_trials_rejected(self):
+        with pytest.raises(ConfigurationError, match="n_trials"):
+            run_trials(factory(), TrivialStrategy, n_trials=-3, seed=0)
+
+    def test_empty_results_have_no_trial_count(self):
+        with pytest.raises(ConfigurationError, match="zero trials"):
+            TrialResults(per_trial={}).n_trials
+
+    @pytest.mark.parametrize("bad", [0, -2])
+    def test_bad_n_jobs_rejected(self, bad):
+        with pytest.raises(ConfigurationError, match="n_jobs"):
+            run_trials(
+                factory(), TrivialStrategy, n_trials=2, seed=0, n_jobs=bad
+            )
+
+    def test_resolve_n_jobs_normalizes(self):
+        assert resolve_n_jobs(None) == 1
+        assert resolve_n_jobs(1) == 1
+        assert resolve_n_jobs(-1) >= 1
+
+
+class TestSeedStability:
+    """Pin seeded results so refactors cannot silently shift streams.
+
+    The expected arrays were recorded before the spare stream and the
+    process-pool backend landed; they must never change.
+    """
+
+    def test_golden_values_for_seed_42(self):
+        res = run_trials(factory(), TrivialStrategy, n_trials=6, seed=42)
+        assert res.per_trial["rounds"].tolist() == [
+            5.0, 16.0, 23.0, 10.0, 5.0, 5.0,
+        ]
+        assert res.per_trial["mean_individual_probes"].tolist() == [
+            2.4166666666666665,
+            3.75,
+            5.333333333333333,
+            4.416666666666667,
+            2.4166666666666665,
+            2.9166666666666665,
+        ]
+
+
+class TestStreamOrder:
+    """The per-trial spawn order (world, honest, adversary, spare) is a
+    pinned contract: reordering or dropping a stream shifts every seeded
+    result in the suite."""
+
+    def test_streams_handed_out_in_documented_order(self):
+        seed = 1234
+        # Derive the expected streams exactly as run_trials does: one
+        # child factory per trial, then generators in spawn order. PCG64's
+        # ``inc`` identifies the stream regardless of how many values have
+        # been drawn from it, so capture points need not be pristine.
+        root = RngFactory.from_seed(seed)
+        trial = next(root.trial_factories(1))
+        expected_incs = [
+            trial.spawn_generator().bit_generator.state["state"]["inc"]
+            for _ in range(3)
+        ]
+
+        captured = {}
+
+        def capturing_instance(rng):
+            captured["world"] = rng.bit_generator.state["state"]["inc"]
+            return planted_instance(
+                n=16, m=16, beta=0.25, alpha=0.75, rng=rng
+            )
+
+        class CapturingStrategy(TrivialStrategy):
+            def reset(self, ctx, rng):
+                captured["honest"] = rng.bit_generator.state["state"]["inc"]
+                super().reset(ctx, rng)
+
+        class CapturingAdversary(SilentAdversary):
+            def reset(self, instance, rng):
+                captured["adversary"] = (
+                    rng.bit_generator.state["state"]["inc"]
+                )
+                super().reset(instance, rng)
+
+        run_trials(
+            capturing_instance,
+            CapturingStrategy,
+            make_adversary=CapturingAdversary,
+            n_trials=1,
+            seed=seed,
+        )
+        actual = [
+            captured["world"], captured["honest"], captured["adversary"]
+        ]
+        assert actual == expected_incs
+
+    def test_exactly_four_streams_spawned_per_trial(self):
+        """The fourth (spare) stream must be spawned even though unused."""
+        from repro.sim.runner import _execute_trial
+
+        trial = RngFactory.from_seed(0)
+        _execute_trial(
+            trial,
+            make_instance=factory(),
+            make_strategy=TrivialStrategy,
+            make_adversary=lambda: None,
+            make_context=None,
+            config=None,
+            keep_metrics=False,
+        )
+        assert trial._spawned == 4
+
+
+class TestParallelEquivalence:
+    """Serial and process-pool runs must be bit-identical per seed."""
+
+    def _run(self, **kwargs):
+        return run_trials(
+            factory(),
+            TrivialStrategy,
+            make_adversary=SilentAdversary,
+            n_trials=8,
+            seed=7,
+            **kwargs,
+        )
+
+    @pytest.mark.parametrize("jobs", [3, 4])
+    def test_bit_identical_across_n_jobs(self, jobs):
+        serial = self._run(n_jobs=1)
+        parallel = self._run(n_jobs=jobs)
+        assert set(parallel.per_trial) == set(serial.per_trial)
+        for key in serial.per_trial:
+            assert np.array_equal(
+                parallel.per_trial[key], serial.per_trial[key]
+            ), key
+        assert parallel.strategy_infos == serial.strategy_infos
+
+    def test_chunk_size_does_not_change_results(self):
+        serial = self._run(n_jobs=1)
+        parallel = self._run(n_jobs=2, chunk_size=1)
+        for key in serial.per_trial:
+            assert np.array_equal(
+                parallel.per_trial[key], serial.per_trial[key]
+            ), key
+
+    def test_keep_metrics_in_parallel(self):
+        res = self._run(n_jobs=2, keep_metrics=True)
+        assert len(res.metrics) == 8
+        assert all(m.rounds >= 1 for m in res.metrics)
+
+    def test_all_cores_shorthand(self):
+        res = self._run(n_jobs=-1)
+        assert res.n_trials == 8
