@@ -1,0 +1,13 @@
+"""Bench E15 — fault-tolerance degradation curves.
+
+DISTILL vs the trivial baseline under lossy billboard posting and
+memoryless churn (crash + restart after k rounds): rounds rise smoothly
+with the fault rate while every honest player still finishes.
+
+Regenerates the E15 table of EXPERIMENTS.md (archived under
+benchmarks/results/E15.txt).
+"""
+
+
+def bench_e15_fault_tolerance(run_and_record):
+    run_and_record("E15")

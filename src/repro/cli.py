@@ -16,7 +16,10 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:  # type-only: keep fault imports lazy in the CLI
+    from repro.faults.plan import FaultPlan
 
 import numpy as np
 
@@ -94,6 +97,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--trials", type=int, default=16)
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--post-loss",
+        type=float,
+        default=0.0,
+        help="probability each honest billboard post is dropped",
+    )
+    run.add_argument(
+        "--churn",
+        type=float,
+        default=0.0,
+        help="per-round crash probability of each active honest player",
+    )
+    run.add_argument(
+        "--churn-restart",
+        type=int,
+        default=4,
+        help=(
+            "rounds a crashed player stays down before restarting with "
+            "no local memory (only with --churn)"
+        ),
+    )
+    run.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-trial wall-clock cap in seconds",
+    )
+    run.add_argument(
+        "--checkpoint",
+        default=None,
+        help="JSONL checkpoint path (resume an interrupted sweep)",
+    )
     _add_jobs_flag(run)
 
     bounds = sub.add_parser(
@@ -168,6 +203,27 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     return 0 if result.all_checks_pass else 1
 
 
+def _fault_plan_from(args) -> Optional["FaultPlan"]:
+    """Build the ``run`` subcommand's fault plan (None when faultless).
+
+    Uses ``getattr`` defaults because ``gauntlet`` shares
+    :func:`_measure_cell` without growing the fault flags.
+    """
+    post_loss = getattr(args, "post_loss", 0.0)
+    churn = getattr(args, "churn", 0.0)
+    if post_loss == 0.0 and churn == 0.0:
+        return None
+    from repro.faults.plan import FaultPlan
+
+    return FaultPlan(
+        post_loss_rate=post_loss,
+        crash_rate=churn,
+        restart_after=(
+            getattr(args, "churn_restart", 4) if churn > 0.0 else None
+        ),
+    )
+
+
 def _measure_cell(args, adversary_name: str):
     m = args.m if getattr(args, "m", None) else args.n
     return run_trials(
@@ -184,16 +240,25 @@ def _measure_cell(args, adversary_name: str):
         seed=(args.seed, len(adversary_name)),
         config=EngineConfig(max_rounds=1_000_000),
         n_jobs=resolve_n_jobs(getattr(args, "jobs", None)),
+        fault_plan=_fault_plan_from(args),
+        timeout=getattr(args, "timeout", None),
+        checkpoint_path=getattr(args, "checkpoint", None),
     )
 
 
 def cmd_run(args: argparse.Namespace) -> int:
     res = _measure_cell(args, args.adversary)
     bound = thm4_expected_rounds(args.n, args.alpha, args.beta)
+    faults = ""
+    if args.post_loss or args.churn:
+        faults = (
+            f", post-loss={args.post_loss:g}, churn={args.churn:g}"
+            f"/restart={args.churn_restart}"
+        )
     print(
         f"{args.strategy} vs {args.adversary} "
         f"(n={args.n}, alpha={args.alpha}, beta={args.beta:g}, "
-        f"{args.trials} trials)"
+        f"{args.trials} trials{faults})"
     )
     print(f"  mean individual rounds : {res.describe('mean_individual_rounds')}")
     print(f"  mean individual probes : {res.describe('mean_individual_probes')}")

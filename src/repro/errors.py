@@ -50,6 +50,22 @@ class BudgetExceededError(SimulationError):
     """
 
 
+class TrialTimeoutError(SimulationError):
+    """A single Monte-Carlo trial exceeded its wall-clock budget.
+
+    Raised by the trial runner when ``timeout=`` is set. A timed-out
+    trial is *deterministic* — re-running the same seed would hang the
+    same way — so the runner reports it instead of retrying (retries are
+    reserved for crashed pool workers, which are environmental)."""
+
+
+class CheckpointError(ReproError):
+    """A trial-runner checkpoint file is unreadable or belongs to a
+    different sweep (seed or trial-count mismatch). Resuming against the
+    wrong checkpoint would silently mix results from two experiments, so
+    the runner fails loudly instead."""
+
+
 class AdversaryViolationError(SimulationError):
     """An adversary attempted an action outside the Byzantine model as
     mediated by the engine (e.g. casting a vote on behalf of an honest

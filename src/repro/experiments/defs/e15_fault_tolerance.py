@@ -1,0 +1,187 @@
+"""E15 — graceful degradation under infrastructure faults (robustness).
+
+The paper's adversary model is Byzantine *players*; its billboard and
+honest players are assumed reliable. This experiment probes how far that
+assumption carries: DISTILL's shared-billboard design has no per-player
+state that matters (everything a player needs is re-derivable from the
+board), so it should degrade gracefully when the *infrastructure* itself
+misbehaves — votes silently lost in transit, or honest players crashing
+and rejoining with no local memory (churn).
+
+Two sweeps against the split-vote adversary, both with a null point
+(rate 0) pinning the clean baseline:
+
+* **post loss** — each honest billboard post is independently dropped
+  with probability ``p``. Lost votes thin every candidate set, so rounds
+  should rise smoothly with ``p`` — roughly like the clean run at an
+  effective ``alpha' = alpha * (1 - p)`` — with no cliff, and every
+  player should still finish (lost votes cost time, never correctness:
+  a player's own probe of a good object satisfies it regardless of
+  whether the vote announcing it survives).
+* **churn** — each active honest player crashes with per-round
+  probability ``p`` and restarts ``k`` rounds later with no memory. A
+  restarted player re-reads the board and re-enters the protocol, so
+  again: slower, not wrong.
+
+The trivial baseline runs alongside as a control: it never reads the
+board, so post loss must leave it exactly flat — which doubles as an
+end-to-end check that the fault layer only touches what it claims to.
+
+Cost is reported as a multiple of the clean (rate-0) run and against the
+Theorem 4 bound, which the *clean* column must still meet.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.adversaries.split_vote import SplitVoteAdversary
+from repro.analysis.bounds import thm4_expected_rounds
+from repro.baselines.trivial import TrivialStrategy
+from repro.core.distill import DistillStrategy
+from repro.experiments.common import measure, planted_factory
+from repro.experiments.config import ExperimentResult, Scale
+from repro.faults.plan import FaultPlan
+
+#: rounds-budget multiple of the Theorem 4 bound granted to faulty runs
+ROUNDS_CAP_FACTOR = 40.0
+
+
+def _plan(kind: str, rate: float, restart_after: int) -> Optional[FaultPlan]:
+    if rate == 0.0:
+        return None
+    if kind == "post_loss":
+        return FaultPlan(post_loss_rate=rate)
+    return FaultPlan(crash_rate=rate, restart_after=restart_after)
+
+
+def run(scale: Scale = Scale.FULL, seed: int = 0) -> ExperimentResult:
+    if scale is Scale.FULL:
+        n, trials = 128, 12
+        loss_sweep = [0.0, 0.1, 0.25, 0.5]
+        churn_sweep = [0.02, 0.05, 0.1]
+    else:
+        n, trials = 64, 4
+        loss_sweep = [0.0, 0.25]
+        churn_sweep = [0.05]
+    alpha, beta = 0.75, 1.0 / 16.0
+    restart_after = 4
+    bound = thm4_expected_rounds(n, alpha, beta)
+    max_rounds = max(int(ROUNDS_CAP_FACTOR * bound), 500)
+
+    sweep = [("post_loss", rate) for rate in loss_sweep] + [
+        ("churn", rate) for rate in churn_sweep
+    ]
+    rows = []
+    measured = {}
+    for kind, rate in sweep:
+        plan = _plan(kind, rate, restart_after)
+        row = {"fault": kind, "rate": rate, "thm4_bound": bound}
+        for name, factory in (
+            ("distill", DistillStrategy),
+            ("trivial", TrivialStrategy),
+        ):
+            res = measure(
+                planted_factory(n, n, beta, alpha),
+                factory,
+                make_adversary=SplitVoteAdversary,
+                trials=trials,
+                seed=(seed, 15, len(name)),  # same seed across rates!
+                max_rounds=max_rounds,
+                fault_plan=plan,
+            )
+            row[f"{name}_rounds"] = res.mean("mean_individual_rounds")
+            row[f"{name}_satisfied"] = res.mean("satisfied_fraction")
+            measured[(name, kind, rate)] = res
+        row["distill_vs_clean"] = (
+            row["distill_rounds"]
+            / measured[("distill", "post_loss", 0.0)].mean(
+                "mean_individual_rounds"
+            )
+        )
+        rows.append(row)
+
+    clean = measured[("distill", "post_loss", 0.0)]
+    clean_rounds = clean.mean("mean_individual_rounds")
+
+    def satisfied(name: str, kind: str, rate: float) -> float:
+        return measured[(name, kind, rate)].mean("satisfied_fraction")
+
+    checks = {
+        "clean run satisfies everyone": clean.success_rate() == 1.0,
+        "clean run within 4x of the Theorem 4 bound": (
+            clean_rounds <= 4.0 * bound
+        ),
+        "every faulty run still satisfies >= 99% of honest players": all(
+            satisfied("distill", kind, rate) >= 0.99
+            for kind, rate in sweep
+        ),
+        "degradation is monotone-ish in post loss (no cliff)": all(
+            measured[("distill", "post_loss", hi)].mean(
+                "mean_individual_rounds"
+            )
+            >= 0.8
+            * measured[("distill", "post_loss", lo)].mean(
+                "mean_individual_rounds"
+            )
+            for lo, hi in zip(loss_sweep, loss_sweep[1:])
+        ),
+        "worst faulty run within the rounds budget": all(
+            measured[("distill", kind, rate)].mean("mean_individual_rounds")
+            < max_rounds / 2
+            for kind, rate in sweep
+        ),
+        "post loss leaves the board-free trivial baseline flat": all(
+            abs(
+                measured[("trivial", "post_loss", rate)].mean(
+                    "mean_individual_probes"
+                )
+                - measured[("trivial", "post_loss", 0.0)].mean(
+                    "mean_individual_probes"
+                )
+            )
+            < 1e-9
+            for rate in loss_sweep
+        ),
+    }
+    worst_loss = max(loss_sweep)
+    worst = measured[("distill", "post_loss", worst_loss)].mean(
+        "mean_individual_rounds"
+    )
+    notes = [
+        f"clean distill: {clean_rounds:.1f} rounds "
+        f"(Thm 4 bound {bound:.1f}); at {worst_loss:.0%} post loss: "
+        f"{worst:.1f} rounds ({worst / clean_rounds:.2f}x)",
+        f"churn restarts after {restart_after} rounds with no local "
+        "memory; recovery is pure board re-read",
+    ]
+
+    return ExperimentResult(
+        experiment_id="E15",
+        title="Fault tolerance: post loss and churn (robustness)",
+        claim=(
+            "DISTILL keeps no essential per-player state off the "
+            "billboard, so lossy posting and memoryless churn degrade "
+            "cost smoothly without breaking correctness."
+        ),
+        columns=[
+            "fault",
+            "rate",
+            "distill_rounds",
+            "distill_vs_clean",
+            "distill_satisfied",
+            "trivial_rounds",
+            "thm4_bound",
+        ],
+        rows=rows,
+        checks=checks,
+        notes=notes,
+        formats={
+            "rate": ".2f",
+            "distill_rounds": ".1f",
+            "distill_vs_clean": ".2f",
+            "distill_satisfied": ".3f",
+            "trivial_rounds": ".1f",
+            "thm4_bound": ".1f",
+        },
+    )

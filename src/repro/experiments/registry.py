@@ -32,6 +32,7 @@ from repro.experiments.defs import (
     e12_three_phase,
     e13_async_model,
     e14_total_cost,
+    e15_fault_tolerance,
 )
 
 Runner = Callable[[Scale, int], ExperimentResult]
@@ -51,6 +52,7 @@ EXPERIMENTS: Dict[str, Tuple[str, Runner]] = {
     "E12": ("Section 1.2 three-phase illustration", e12_three_phase.run),
     "E13": ("Section 1.2 synchronous abstraction", e13_async_model.run),
     "E14": ("Prior-work total cost (Section 1.1)", e14_total_cost.run),
+    "E15": ("Fault tolerance: post loss and churn", e15_fault_tolerance.run),
     "A1": ("Slander ablation (open problem 1)", a01_slander.run),
     "A2": ("Ownership coupling (open problem 2)", a02_ownership.run),
     "A3": ("Demand pricing (open problem 3)", a03_pricing.run),

@@ -48,6 +48,7 @@ from repro.world.valuemodel import TrueValueModel, ValueModel
 
 if TYPE_CHECKING:  # imported lazily to avoid a package-level cycle
     from repro.adversaries.base import Adversary
+    from repro.faults.injector import FaultInjector
 
 
 @dataclass
@@ -103,6 +104,12 @@ class SynchronousEngine:
         Generator for the honest cohort's coins. The adversary receives
         its own generator via ``adversary_rng`` so that honest and
         adversarial randomness are independent streams.
+    fault_injector:
+        Optional :class:`~repro.faults.injector.FaultInjector` applying
+        infrastructure faults (lossy billboard, churn, observation
+        noise) to the run. ``None`` — the default, and the paper's model
+        — leaves every code path byte-identical to the fault-free
+        engine. The injector must carry its *own* rng stream.
     """
 
     def __init__(
@@ -115,6 +122,7 @@ class SynchronousEngine:
         adversary_rng: Optional[np.random.Generator] = None,
         config: Optional[EngineConfig] = None,
         ctx: Optional[StrategyContext] = None,
+        fault_injector: Optional["FaultInjector"] = None,
     ) -> None:
         self.instance = instance
         self.strategy = strategy
@@ -139,6 +147,7 @@ class SynchronousEngine:
             max_votes_per_player=self.config.max_votes_per_player,
         )
         self._dishonest_set = set(int(p) for p in instance.dishonest_ids)
+        self.fault_injector = fault_injector
         #: populated when ``config.trace`` is on
         self.trace = None
         if self.config.trace:
@@ -160,18 +169,50 @@ class SynchronousEngine:
         halted_round = np.full(n, -1, dtype=np.int64)
         active = inst.honest_mask.copy()  # honest players still probing
 
+        faults = self.fault_injector
+        value_model = self.value_model
+        #: round at which each crashed player restarts (-1: not down)
+        down_until = np.full(n, -1, dtype=np.int64)
+        if faults is not None:
+            faults.reset()
+            value_model = faults.wrap_value_model(value_model)
+
         self.strategy.reset(self.ctx, self.rng)
         if self.adversary is not None:
             self.adversary.reset(inst, self.adversary_rng)
 
         round_no = 0
         while round_no < self.config.max_rounds:
-            if not active.any():
+            if faults is not None:
+                self._fault_round_start(faults, round_no, active, down_until)
+            if not active.any() and not (down_until >= 0).any():
                 break
             if self.strategy.finished(round_no):
                 break
+            if faults is not None:
+                # crashes land before probing: a player crashing in round
+                # r does not probe in round r
+                crashed = faults.crash_coins(round_no, np.flatnonzero(active))
+                if crashed.size:
+                    active[crashed] = False
+                    if faults.plan.restart_after is None:
+                        halted_round[crashed] = round_no
+                    else:
+                        down_until[crashed] = (
+                            round_no + faults.plan.restart_after
+                        )
+                    if self.trace is not None:
+                        self.trace.record(
+                            round_no, "fault_crash", players=crashed.tolist()
+                        )
 
             active_ids = np.flatnonzero(active)
+            if active_ids.size == 0:
+                # everyone is down awaiting restart; the world idles
+                if self.adversary is not None:
+                    self._adversary_turn(round_no)
+                round_no += 1
+                continue
             honest_view = BillboardView(self.board, before_round=round_no)
             choices = self.strategy.choose_probes(
                 round_no, active_ids, honest_view
@@ -192,7 +233,7 @@ class SynchronousEngine:
                 )
 
             if probers.size:
-                values = self.value_model.observe_many(probers, targets)
+                values = value_model.observe_many(probers, targets)
                 probes[probers] += 1
                 paid[probers] += self._probe_costs(round_no, targets, costs)
                 if self.trace is not None:
@@ -215,30 +256,20 @@ class SynchronousEngine:
 
                 vote_idx = np.flatnonzero(vote_mask)
                 if vote_idx.size:
-                    self.board.append_many(
-                        round_no,
-                        [
-                            (
-                                int(probers[idx]),
-                                int(targets[idx]),
-                                float(values[idx]),
-                                PostKind.VOTE,
-                            )
-                            for idx in vote_idx
-                        ],
-                    )
-                    if self.trace is not None:
-                        for idx in vote_idx:
-                            self.trace.record(
-                                round_no,
-                                "vote",
-                                player=int(probers[idx]),
-                                object=int(targets[idx]),
-                            )
+                    entries = [
+                        (
+                            int(probers[idx]),
+                            int(targets[idx]),
+                            float(values[idx]),
+                            PostKind.VOTE,
+                        )
+                        for idx in vote_idx
+                    ]
+                    self._post_honest(round_no, entries, faults)
                 if self.config.record_reports:
                     report_idx = np.flatnonzero(~vote_mask)
                     if report_idx.size:
-                        self.board.append_many(
+                        self._post_honest(
                             round_no,
                             [
                                 (
@@ -249,11 +280,14 @@ class SynchronousEngine:
                                 )
                                 for idx in report_idx
                             ],
+                            faults,
                         )
 
                 halters = probers[halt_mask]
                 active[halters] = False
                 halted_round[halters] = round_no
+                # a halted player can no longer be pending a restart
+                down_until[halters] = -1
                 if self.trace is not None and halters.size:
                     self.trace.record(
                         round_no, "halt", players=halters.tolist()
@@ -280,7 +314,88 @@ class SynchronousEngine:
             rounds=round_no,
             all_honest_satisfied=bool(sat_honest.all()),
             strategy_info=self.strategy.info(),
+            fault_info=faults.info() if faults is not None else {},
+            trace=self.trace,
         )
+
+    # ------------------------------------------------------------------
+    def _fault_round_start(
+        self,
+        faults: "FaultInjector",
+        round_no: int,
+        active: np.ndarray,
+        down_until: np.ndarray,
+    ) -> None:
+        """Round-start fault effects: deliver delayed posts, restart
+        crashed players whose downtime has elapsed."""
+        due = faults.due_posts(round_no)
+        if due:
+            self.board.append_many(round_no, due)
+            if self.trace is not None:
+                for player, object_id, _value, kind in due:
+                    self.trace.record(
+                        round_no,
+                        "fault_deliver",
+                        player=int(player),
+                        object=int(object_id),
+                        post_kind=kind.value,
+                    )
+        restarts = np.flatnonzero(down_until == round_no)
+        if restarts.size:
+            down_until[restarts] = -1
+            active[restarts] = True
+            faults.note_restarts(restarts)
+            self.strategy.on_player_restart(round_no, restarts)
+            if self.trace is not None:
+                self.trace.record(
+                    round_no, "fault_restart", players=restarts.tolist()
+                )
+
+    # ------------------------------------------------------------------
+    def _post_honest(
+        self,
+        round_no: int,
+        entries: list,
+        faults: Optional["FaultInjector"],
+    ) -> None:
+        """Append honest posts, routing them through the lossy-billboard
+        filter when faults are injected. Vote trace events are recorded
+        only for posts that actually land this round; drops and delays
+        get their own event kinds."""
+        if faults is None:
+            delivered, dropped, delayed = entries, [], []
+        else:
+            delivered, dropped, delayed = faults.filter_posts(
+                round_no, entries
+            )
+        if delivered:
+            self.board.append_many(round_no, delivered)
+        if self.trace is not None:
+            for player, object_id, _value, kind in delivered:
+                if kind is PostKind.VOTE:
+                    self.trace.record(
+                        round_no,
+                        "vote",
+                        player=int(player),
+                        object=int(object_id),
+                    )
+            for player, object_id, _value, kind in dropped:
+                self.trace.record(
+                    round_no,
+                    "fault_drop",
+                    player=int(player),
+                    object=int(object_id),
+                    post_kind=kind.value,
+                )
+            for deliver_round, (player, object_id, _value, kind) in delayed:
+                self.trace.record(
+                    round_no,
+                    "fault_delay",
+                    player=int(player),
+                    object=int(object_id),
+                    post_kind=kind.value,
+                    deliver_round=deliver_round,
+                )
 
     # ------------------------------------------------------------------
     def _probe_costs(

@@ -9,9 +9,12 @@ separately and lets each experiment report the quantity its theorem names.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict
+from typing import TYPE_CHECKING, Any, Dict, Optional
 
 import numpy as np
+
+if TYPE_CHECKING:  # type-only: metrics must not import the trace module
+    from repro.sim.trace import Trace
 
 
 @dataclass
@@ -45,6 +48,14 @@ class RunMetrics:
     strategy_info:
         Free-form diagnostics exported by the strategy (e.g. DISTILL's
         ATTEMPT count and candidate-set trajectory).
+    fault_info:
+        Realized fault counts (drops, delays, crashes, restarts) when the
+        run was driven with a :class:`~repro.faults.injector.FaultInjector`;
+        empty for clean runs.
+    trace:
+        The run's structured event log when ``EngineConfig(trace=True)``,
+        else ``None``. Carried here so traced runs survive the trial
+        runner's process pool (``keep_metrics=True``).
     """
 
     honest_mask: np.ndarray
@@ -55,6 +66,8 @@ class RunMetrics:
     rounds: int
     all_honest_satisfied: bool
     strategy_info: Dict[str, Any] = field(default_factory=dict)
+    fault_info: Dict[str, Any] = field(default_factory=dict)
+    trace: Optional["Trace"] = None
 
     # ------------------------------------------------------------------
     @property

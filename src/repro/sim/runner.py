@@ -16,21 +16,58 @@ a process pool (``n_jobs``): per-trial seed sequences are derived *before*
 dispatch, in trial order, and results are re-assembled in trial order, so
 the aggregated arrays are bit-identical to the serial path for the same
 seed regardless of ``n_jobs`` or chunking.
+
+The runner is additionally hardened for long sweeps (see
+``docs/robustness.md``):
+
+* ``timeout=`` — a per-trial wall-clock cap; a hung engine raises
+  :class:`~repro.errors.TrialTimeoutError` instead of stalling the sweep.
+* crashed pool workers (``BrokenProcessPool``) are retried with
+  exponential backoff; a retry re-dispatches the *same* pre-derived seed
+  sequences, so retried trials are bit-identical to an undisturbed run.
+  If the pool keeps dying the runner degrades to in-process serial
+  execution of the remaining chunks rather than giving up.
+* ``checkpoint_path=`` — completed trials are appended to a JSONL
+  checkpoint as they finish; an interrupted sweep resumes from the last
+  completed chunk and produces ``per_trial`` arrays bit-identical to an
+  uninterrupted run of the same seed.
+* ``fault_plan=`` — a :class:`~repro.faults.plan.FaultPlan` applied to
+  every trial's engine via the pinned fourth per-trial rng stream
+  (reserved as a spare since the parallel-runner change), so enabling
+  faults never shifts the world/honest/adversary streams.
 """
 
 from __future__ import annotations
 
+import json
 import math
 import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
+import signal
+import threading
+import time
+import warnings
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
-from repro.errors import ConfigurationError
-from repro.rng import RngFactory, SeedLike
+from repro.errors import CheckpointError, ConfigurationError, TrialTimeoutError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.rng import RngFactory, SeedLike, make_seed_sequence
 from repro.sim.engine import EngineConfig, SynchronousEngine
 from repro.sim.metrics import RunMetrics
 from repro.strategies.base import Strategy, StrategyContext
@@ -46,6 +83,9 @@ ContextFactory = Callable[[Instance], Optional[StrategyContext]]
 
 #: one trial's outputs: (summary row, strategy info, kept metrics or None)
 _TrialRecord = Tuple[Dict[str, float], Dict[str, Any], Optional[RunMetrics]]
+
+#: one dispatchable unit: (trial index, pre-derived seed sequence)
+_IndexedSeed = Tuple[int, np.random.SeedSequence]
 
 
 @dataclass
@@ -71,12 +111,24 @@ class TrialResults:
         key = next(iter(self.per_trial))
         return int(self.per_trial[key].shape[0])
 
+    def _column(self, key: str) -> np.ndarray:
+        """One summary statistic's per-trial array, with a helpful error
+        naming the available keys when ``key`` is unknown."""
+        try:
+            return self.per_trial[key]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown summary key {key!r}; available keys: "
+                f"{sorted(self.per_trial)}"
+            ) from None
+
     def mean(self, key: str) -> float:
         """Trial mean of one summary statistic."""
-        return float(self.per_trial[key].mean())
+        return float(self._column(key).mean())
 
     def std(self, key: str) -> float:
-        return float(self.per_trial[key].std(ddof=1)) if self.n_trials > 1 else 0.0
+        column = self._column(key)
+        return float(column.std(ddof=1)) if self.n_trials > 1 else 0.0
 
     def sem(self, key: str) -> float:
         """Standard error of the mean."""
@@ -87,7 +139,7 @@ class TrialResults:
         return 1.96 * self.sem(key)
 
     def quantile(self, key: str, q: float) -> float:
-        return float(np.quantile(self.per_trial[key], q))
+        return float(np.quantile(self._column(key), q))
 
     def success_rate(self) -> float:
         """Fraction of trials in which all honest players succeeded."""
@@ -95,6 +147,42 @@ class TrialResults:
 
     def describe(self, key: str) -> str:
         return f"{self.mean(key):.3f} ± {self.ci95(key):.3f} (95% CI)"
+
+
+# ----------------------------------------------------------------------
+# Per-trial execution
+# ----------------------------------------------------------------------
+@contextmanager
+def _trial_deadline(seconds: Optional[float]):
+    """Raise :class:`TrialTimeoutError` if the block runs past ``seconds``.
+
+    Implemented with ``SIGALRM`` so it interrupts a genuinely hung engine
+    (a tight numpy loop, not just a slow sleep). Enforcement requires a
+    Unix main thread — forked pool workers qualify — and is silently
+    skipped elsewhere, matching the fork-only parallel backend.
+    """
+    usable = (
+        seconds is not None
+        and seconds > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise TrialTimeoutError(
+            f"trial exceeded its wall-clock budget of {seconds}s"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, float(seconds))
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 def _execute_trial(
@@ -105,38 +193,49 @@ def _execute_trial(
     make_context: Optional[ContextFactory],
     config: Optional[EngineConfig],
     keep_metrics: bool,
+    fault_plan: Optional[FaultPlan] = None,
+    timeout: Optional[float] = None,
 ) -> _TrialRecord:
     """Run one trial from its dedicated rng factory.
 
-    The spawn order below — world, honest coins, adversary coins, spare —
+    The spawn order below — world, honest coins, adversary coins, faults —
     is a pinned contract (see the stream-order regression test): changing
-    it, or dropping the spare, shifts every seeded result in the suite.
+    it, or dropping a stream, shifts every seeded result in the suite.
+    The fourth stream was reserved as an unused spare before the fault
+    layer existed, which is exactly why wiring faults through it keeps
+    clean runs bit-identical.
     """
-    world_rng = trial_factory.spawn_generator()
-    honest_rng = trial_factory.spawn_generator()
-    adversary_rng = trial_factory.spawn_generator()
-    trial_factory.spawn_generator()  # spare: reserved for future streams
+    with _trial_deadline(timeout):
+        world_rng = trial_factory.spawn_generator()
+        honest_rng = trial_factory.spawn_generator()
+        adversary_rng = trial_factory.spawn_generator()
+        fault_rng = trial_factory.spawn_generator()
 
-    instance = make_instance(world_rng)
-    strategy = make_strategy()
-    adversary = make_adversary()
-    ctx = make_context(instance) if make_context is not None else None
+        injector = None
+        if fault_plan is not None and not fault_plan.is_null():
+            injector = FaultInjector(fault_plan, fault_rng)
 
-    engine = SynchronousEngine(
-        instance,
-        strategy,
-        adversary=adversary,
-        rng=honest_rng,
-        adversary_rng=adversary_rng,
-        config=config,
-        ctx=ctx,
-    )
-    result = engine.run()
-    return (
-        result.summary(),
-        result.strategy_info,
-        result if keep_metrics else None,
-    )
+        instance = make_instance(world_rng)
+        strategy = make_strategy()
+        adversary = make_adversary()
+        ctx = make_context(instance) if make_context is not None else None
+
+        engine = SynchronousEngine(
+            instance,
+            strategy,
+            adversary=adversary,
+            rng=honest_rng,
+            adversary_rng=adversary_rng,
+            config=config,
+            ctx=ctx,
+            fault_injector=injector,
+        )
+        result = engine.run()
+        return (
+            result.summary(),
+            result.strategy_info,
+            result if keep_metrics else None,
+        )
 
 
 # ----------------------------------------------------------------------
@@ -151,15 +250,19 @@ _WORKER_STATE: Optional[Dict[str, Any]] = None
 
 
 def _run_trial_chunk(
-    chunk: List[Tuple[int, np.random.SeedSequence]],
+    chunk: Sequence[_IndexedSeed],
 ) -> List[Tuple[int, _TrialRecord]]:
     state = _WORKER_STATE
     if state is None:  # pragma: no cover - defends against misuse
         raise RuntimeError("worker state missing; was the pool forked?")
-    return [
-        (index, _execute_trial(RngFactory(seed_sequence), **state))
-        for index, seed_sequence in chunk
-    ]
+    out = []
+    for index, seed_sequence in chunk:
+        try:
+            record = _execute_trial(RngFactory(seed_sequence), **state)
+        except TrialTimeoutError as exc:
+            raise TrialTimeoutError(f"trial {index}: {exc}") from None
+        out.append((index, record))
+    return out
 
 
 def resolve_n_jobs(n_jobs: Optional[int]) -> int:
@@ -177,40 +280,195 @@ def resolve_n_jobs(n_jobs: Optional[int]) -> int:
 
 
 def _run_parallel(
-    trial_factories: List[RngFactory],
+    pending: List[_IndexedSeed],
     jobs: int,
     chunk_size: Optional[int],
     state: Dict[str, Any],
-) -> List[_TrialRecord]:
-    """Fan the trials out over a forked process pool, preserving order."""
-    indexed = [
-        (index, factory.seed_sequence)
-        for index, factory in enumerate(trial_factories)
-    ]
+    max_retries: int,
+    backoff_base: float,
+    on_chunk_done: Optional[Callable[[List[Tuple[int, _TrialRecord]]], None]],
+) -> Dict[int, _TrialRecord]:
+    """Fan trials out over a forked pool, surviving worker crashes.
+
+    Chunks are submitted individually so completed work is harvested (and
+    checkpointed) even when a later chunk kills its worker. On
+    ``BrokenProcessPool`` the unfinished chunks are re-submitted to a
+    fresh pool after an exponential backoff; each chunk carries its
+    pre-derived seed sequences, so a retried trial replays the exact
+    stream of its first attempt. After ``max_retries`` pool rebuilds the
+    runner stops trusting the pool and finishes the remaining chunks
+    serially in-process.
+    """
     if chunk_size is None:
         # ~4 chunks per worker: coarse enough to amortize dispatch,
         # fine enough to keep stragglers from idling the pool.
-        chunk_size = max(1, math.ceil(len(indexed) / (jobs * 4)))
-    chunks = [
-        indexed[start : start + chunk_size]
-        for start in range(0, len(indexed), chunk_size)
+        chunk_size = max(1, math.ceil(len(pending) / (jobs * 4)))
+    remaining = [
+        list(pending[start : start + chunk_size])
+        for start in range(0, len(pending), chunk_size)
     ]
     context = multiprocessing.get_context("fork")
+    results: Dict[int, _TrialRecord] = {}
+    attempt = 0
+
+    def harvest(pairs: List[Tuple[int, _TrialRecord]]) -> None:
+        results.update(pairs)
+        if on_chunk_done is not None:
+            on_chunk_done(pairs)
+
     global _WORKER_STATE
     previous = _WORKER_STATE
     _WORKER_STATE = state
     try:
-        with ProcessPoolExecutor(
-            max_workers=min(jobs, len(chunks)), mp_context=context
-        ) as pool:
-            chunk_results = list(pool.map(_run_trial_chunk, chunks))
+        while remaining:
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=min(jobs, len(remaining)), mp_context=context
+                ) as pool:
+                    futures = {
+                        pool.submit(_run_trial_chunk, chunk): chunk
+                        for chunk in remaining
+                    }
+                    for future in as_completed(futures):
+                        harvest(future.result())
+                remaining = []
+            except BrokenProcessPool:
+                remaining = [
+                    chunk
+                    for chunk in remaining
+                    if any(index not in results for index, _seed in chunk)
+                ]
+                attempt += 1
+                if attempt > max_retries:
+                    warnings.warn(
+                        f"process pool died {attempt} times; degrading to "
+                        f"serial execution for the remaining "
+                        f"{sum(len(c) for c in remaining)} trial(s)",
+                        RuntimeWarning,
+                        stacklevel=3,
+                    )
+                    for chunk in remaining:
+                        harvest(_run_serial_chunk(chunk, state))
+                    remaining = []
+                else:
+                    delay = backoff_base * (2 ** (attempt - 1))
+                    if delay > 0:
+                        time.sleep(delay)
     finally:
         _WORKER_STATE = previous
-    flat = [pair for chunk in chunk_results for pair in chunk]
-    flat.sort(key=lambda pair: pair[0])
-    return [record for _index, record in flat]
+    return results
 
 
+def _run_serial_chunk(
+    chunk: Sequence[_IndexedSeed], state: Dict[str, Any]
+) -> List[Tuple[int, _TrialRecord]]:
+    """Run one chunk in-process (the serial path and the degraded pool)."""
+    out = []
+    for index, seed_sequence in chunk:
+        try:
+            record = _execute_trial(RngFactory(seed_sequence), **state)
+        except TrialTimeoutError as exc:
+            raise TrialTimeoutError(f"trial {index}: {exc}") from None
+        out.append((index, record))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Checkpointing
+# ----------------------------------------------------------------------
+def _jsonable(value: Any) -> Any:
+    """JSON encoder hook for the numpy types strategy infos carry."""
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"not JSON-serializable: {type(value)!r}")
+
+
+class _Checkpoint:
+    """Incremental JSONL checkpoint of completed trials.
+
+    Line 1 is a header binding the file to one sweep (seed fingerprint +
+    trial count); every further line is one completed trial's summary row
+    and strategy info. Rows round-trip through JSON exactly (Python's
+    float repr is shortest-round-trip), so a resumed sweep's ``per_trial``
+    arrays are bit-identical to an uninterrupted run.
+    """
+
+    def __init__(self, path: str, seed: SeedLike, n_trials: int) -> None:
+        self.path = path
+        self.header = {
+            "kind": "header",
+            "version": 1,
+            "seed_entropy": str(make_seed_sequence(seed).entropy),
+            "n_trials": n_trials,
+        }
+
+    def load(self) -> Dict[int, _TrialRecord]:
+        """Validate the header and return the completed trials by index.
+
+        A missing file starts a fresh checkpoint (the header is written
+        immediately so even a sweep killed before its first completed
+        chunk resumes cleanly).
+        """
+        if not os.path.exists(self.path):
+            with open(self.path, "w") as handle:
+                handle.write(json.dumps(self.header, sort_keys=True) + "\n")
+            return {}
+        with open(self.path) as handle:
+            lines = [line for line in handle.read().splitlines() if line]
+        if not lines:
+            raise CheckpointError(f"checkpoint {self.path} is empty")
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError as exc:
+            raise CheckpointError(
+                f"checkpoint {self.path} has an unreadable header: {exc}"
+            ) from None
+        for key in ("seed_entropy", "n_trials"):
+            if header.get(key) != self.header[key]:
+                raise CheckpointError(
+                    f"checkpoint {self.path} belongs to a different sweep "
+                    f"({key}: checkpoint has {header.get(key)!r}, this run "
+                    f"has {self.header[key]!r}); refusing to mix results"
+                )
+        done: Dict[int, _TrialRecord] = {}
+        for line_no, line in enumerate(lines[1:], start=2):
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                # a partially written trailing line (the sweep was killed
+                # mid-append) is the expected crash artifact: ignore it
+                # and re-run that trial
+                continue
+            index = int(entry["index"])
+            if not 0 <= index < self.header["n_trials"]:
+                raise CheckpointError(
+                    f"checkpoint {self.path} line {line_no} names trial "
+                    f"{index}, outside 0..{self.header['n_trials'] - 1}"
+                )
+            done[index] = (entry["row"], entry["info"], None)
+        return done
+
+    def append(self, pairs: Sequence[Tuple[int, _TrialRecord]]) -> None:
+        """Persist completed trials (one JSON line each, flushed)."""
+        with open(self.path, "a") as handle:
+            for index, (row, info, _metrics) in pairs:
+                handle.write(
+                    json.dumps(
+                        {"index": index, "row": row, "info": info},
+                        sort_keys=True,
+                        default=_jsonable,
+                    )
+                    + "\n"
+                )
+            handle.flush()
+            os.fsync(handle.fileno())
+
+
+# ----------------------------------------------------------------------
 def run_trials(
     make_instance: InstanceFactory,
     make_strategy: StrategyFactory,
@@ -222,14 +480,20 @@ def run_trials(
     keep_metrics: bool = False,
     n_jobs: Optional[int] = None,
     chunk_size: Optional[int] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    timeout: Optional[float] = None,
+    max_retries: int = 2,
+    backoff_base: float = 0.5,
+    checkpoint_path: Optional[str] = None,
 ) -> TrialResults:
     """Run ``n_trials`` independent simulations and aggregate summaries.
 
     Each trial draws four independent generator streams (world, honest
-    coins, adversary coins, spare) from a per-trial child of ``seed``, so
+    coins, adversary coins, faults) from a per-trial child of ``seed``, so
     results are reproducible and trials are statistically independent.
-    The spare stream is spawned but unused; it reserves a slot so future
-    stream additions do not shift existing seeded results.
+    The fourth stream feeds the fault layer and is spawned even when no
+    faults are configured (it predates the fault layer as a reserved
+    spare), which is what keeps clean seeded results pinned.
 
     Parameters
     ----------
@@ -242,15 +506,60 @@ def run_trials(
     chunk_size:
         Trials per dispatched work unit (default: ~4 chunks per worker).
         Affects scheduling only, never results.
+    fault_plan:
+        Optional :class:`~repro.faults.plan.FaultPlan` injected into every
+        trial's engine. ``None`` — or a plan with every rate zero — is
+        bit-identical to the fault-free runner.
+    timeout:
+        Per-trial wall-clock cap in seconds; a trial running past it
+        raises :class:`~repro.errors.TrialTimeoutError` (no retry: a hung
+        trial is deterministic). Enforced via ``SIGALRM`` on Unix main
+        threads — which covers the serial path and every forked worker —
+        and skipped silently elsewhere.
+    max_retries:
+        Pool rebuilds to attempt when workers die (``BrokenProcessPool``)
+        before degrading to serial execution of the remaining chunks.
+        Retries re-dispatch the same pre-derived seed sequences, so
+        results stay bit-identical however many retries it takes.
+    backoff_base:
+        First retry delay in seconds; doubled on each further rebuild.
+    checkpoint_path:
+        Incremental JSONL checkpoint of completed trials. If the file
+        already exists (same seed and trial count — anything else raises
+        :class:`~repro.errors.CheckpointError`), completed trials are
+        loaded and only the remainder runs; the merged ``per_trial``
+        arrays are bit-identical to an uninterrupted run. Incompatible
+        with ``keep_metrics`` (full :class:`RunMetrics` records are not
+        checkpointable).
     """
     if n_trials < 1:
         raise ConfigurationError(
             f"n_trials must be a positive integer, got {n_trials}"
         )
+    if max_retries < 0:
+        raise ConfigurationError(
+            f"max_retries must be >= 0, got {max_retries}"
+        )
     jobs = resolve_n_jobs(n_jobs)
+
+    checkpoint: Optional[_Checkpoint] = None
+    done: Dict[int, _TrialRecord] = {}
+    if checkpoint_path is not None:
+        if keep_metrics:
+            raise ConfigurationError(
+                "checkpoint_path is incompatible with keep_metrics: full "
+                "RunMetrics records are not checkpointable"
+            )
+        checkpoint = _Checkpoint(checkpoint_path, seed, n_trials)
+        done = checkpoint.load()
 
     root = RngFactory.from_seed(seed)
     trial_factories = list(root.trial_factories(n_trials))
+    pending: List[_IndexedSeed] = [
+        (index, factory.seed_sequence)
+        for index, factory in enumerate(trial_factories)
+        if index not in done
+    ]
     state: Dict[str, Any] = dict(
         make_instance=make_instance,
         make_strategy=make_strategy,
@@ -258,20 +567,36 @@ def run_trials(
         make_context=make_context,
         config=config,
         keep_metrics=keep_metrics,
+        fault_plan=fault_plan,
+        timeout=timeout,
     )
+    on_chunk_done = checkpoint.append if checkpoint is not None else None
 
     parallel = (
         jobs > 1
-        and n_trials > 1
+        and len(pending) > 1
         and "fork" in multiprocessing.get_all_start_methods()
     )
     if parallel:
-        records = _run_parallel(trial_factories, jobs, chunk_size, state)
+        done.update(
+            _run_parallel(
+                pending,
+                jobs,
+                chunk_size,
+                state,
+                max_retries,
+                backoff_base,
+                on_chunk_done,
+            )
+        )
     else:
-        records = [
-            _execute_trial(factory, **state) for factory in trial_factories
-        ]
+        for indexed in pending:
+            pairs = _run_serial_chunk([indexed], state)
+            done.update(pairs)
+            if on_chunk_done is not None:
+                on_chunk_done(pairs)
 
+    records = [done[index] for index in range(n_trials)]
     rows = [record[0] for record in records]
     infos = [record[1] for record in records]
     kept = [record[2] for record in records if record[2] is not None]

@@ -121,6 +121,19 @@ class Strategy:
         honest player has halted)."""
         return False
 
+    def on_player_restart(
+        self, round_no: int, players: np.ndarray
+    ) -> None:
+        """Fault-injection hook: ``players`` return from a crash with no
+        local memory and will be offered probes again from this round on.
+
+        Cohort strategies are billboard-driven, so the default is a
+        no-op — a restarted player simply re-reads the board, which is
+        exactly the paper's recovery story for its shared-billboard
+        design. Strategies that cache per-player state should clear it
+        here.
+        """
+
     def info(self) -> Dict[str, Any]:
         """Diagnostics exported into :class:`~repro.sim.metrics.RunMetrics`."""
         return {}

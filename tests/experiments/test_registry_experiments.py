@@ -20,9 +20,10 @@ from repro.experiments.config import Scale
 class TestRegistry:
     def test_all_experiments_registered(self):
         # E1..E12 cover the paper's claims; E13 validates the model's
-        # synchronous abstraction; A1..A4 explore the Section 6 open
-        # problems and the Lemma 6 ablation (DESIGN.md extensions)
-        expected = [f"E{i}" for i in range(1, 15)] + [
+        # synchronous abstraction; E15 the fault-injection robustness
+        # story; A1..A4 explore the Section 6 open problems and the
+        # Lemma 6 ablation (DESIGN.md extensions)
+        expected = [f"E{i}" for i in range(1, 16)] + [
             f"A{i}" for i in range(1, 7)
         ]
         assert available_experiments() == expected

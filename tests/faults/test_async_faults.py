@@ -1,0 +1,108 @@
+"""Fault behavior of the asynchronous engine.
+
+Same contract as the synchronous engine, with rates interpreted per
+basic *step*: a scheduled player may crash instead of acting, votes may
+be dropped or land late, and a null plan changes nothing.
+"""
+
+import numpy as np
+
+from repro.baselines.trivial import TrivialStrategy
+from repro.billboard.post import PostKind
+from repro.faults import FaultInjector, FaultPlan
+from repro.sim.async_engine import AsynchronousEngine, PerStepAdapter
+from repro.world.generators import planted_instance
+
+
+def world(n=32, beta=1 / 8, alpha=1.0, seed=3):
+    return planted_instance(
+        n=n, m=n, beta=beta, alpha=alpha, rng=np.random.default_rng(seed)
+    )
+
+
+def injector(plan, seed=0):
+    return FaultInjector(plan, np.random.default_rng(seed))
+
+
+class TestAsyncFaults:
+    def test_total_loss_still_finishes(self):
+        engine = AsynchronousEngine(
+            world(),
+            PerStepAdapter(TrivialStrategy()),
+            rng=np.random.default_rng(1),
+            fault_injector=injector(FaultPlan(post_loss_rate=1.0)),
+        )
+        metrics = engine.run()
+        assert metrics.all_honest_satisfied
+        assert engine.board.posts(kind=PostKind.VOTE) == []
+        assert metrics.fault_info["dropped_posts"] > 0
+
+    def test_permanent_crash_rate_one_fells_every_player_in_one_pass(self):
+        inst = world(n=16)
+        engine = AsynchronousEngine(
+            inst,
+            PerStepAdapter(TrivialStrategy()),
+            rng=np.random.default_rng(1),
+            fault_injector=injector(
+                FaultPlan(crash_rate=1.0, restart_after=None)
+            ),
+        )
+        metrics = engine.run()
+        # every scheduled player crashes before its first probe
+        assert not metrics.all_honest_satisfied
+        assert metrics.probes.sum() == 0
+        assert (metrics.satisfied_step == -1).all()
+        assert metrics.steps == int(inst.honest_mask.sum())
+        assert metrics.fault_info["crashes"] == int(inst.honest_mask.sum())
+
+    def test_churn_recovers_and_counts_restarts(self):
+        engine = AsynchronousEngine(
+            world(n=16),
+            PerStepAdapter(TrivialStrategy()),
+            rng=np.random.default_rng(1),
+            fault_injector=injector(
+                FaultPlan(crash_rate=0.3, restart_after=4), seed=5
+            ),
+            max_steps=100_000,
+        )
+        metrics = engine.run()
+        assert metrics.all_honest_satisfied
+        assert metrics.fault_info["crashes"] >= 1
+        assert (
+            metrics.fault_info["restarts"] == metrics.fault_info["crashes"]
+        )
+
+    def test_delayed_votes_eventually_land(self):
+        engine = AsynchronousEngine(
+            world(n=16),
+            PerStepAdapter(TrivialStrategy()),
+            rng=np.random.default_rng(1),
+            fault_injector=injector(
+                FaultPlan(post_delay_rate=1.0, max_post_delay=2)
+            ),
+        )
+        metrics = engine.run()
+        assert metrics.all_honest_satisfied
+        delivered = len(engine.board.posts(kind=PostKind.VOTE))
+        assert (
+            delivered + metrics.fault_info["undelivered_posts"]
+            == metrics.fault_info["delayed_posts"]
+        )
+
+    def _run(self, fault_injector):
+        engine = AsynchronousEngine(
+            world(),
+            PerStepAdapter(TrivialStrategy()),
+            rng=np.random.default_rng(7),
+            fault_injector=fault_injector,
+        )
+        return engine.run()
+
+    def test_null_plan_is_bit_identical_to_no_fault_layer(self):
+        clean = self._run(None)
+        null = self._run(injector(FaultPlan()))
+        assert np.array_equal(clean.probes, null.probes)
+        assert np.array_equal(clean.satisfied_step, null.satisfied_step)
+        assert clean.steps == null.steps
+        assert clean.fault_info == {}
+        assert null.fault_info["crashes"] == 0

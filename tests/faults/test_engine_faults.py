@@ -1,0 +1,252 @@
+"""Fault behavior of the synchronous engine.
+
+The contract under test, per fault kind:
+
+* lossy billboard — honest votes vanish (or land late) but a player's
+  *own* probe still satisfies it: faults cost time, never correctness;
+* churn — crashed players stop probing; restartable ones rejoin with no
+  memory and the strategy is notified; permanent ones are halted;
+* null plan — byte-identical to running with no fault layer at all;
+* adversary posts are never filtered (it is already Byzantine).
+"""
+
+import numpy as np
+import pytest
+
+from repro.adversaries.base import Adversary
+from repro.billboard.post import PostKind
+from repro.core.distill import DistillStrategy
+from repro.faults import FaultInjector, FaultPlan
+from repro.sim.actions import VoteAction
+from repro.sim.engine import EngineConfig, SynchronousEngine
+from repro.strategies.base import Strategy
+from repro.world.generators import explicit_instance, planted_instance
+
+
+class FixedProbeStrategy(Strategy):
+    name = "fixed"
+
+    def __init__(self, target=1):
+        self.target = target
+
+    def choose_probes(self, round_no, active_players, view):
+        return np.full(active_players.size, self.target, dtype=np.int64)
+
+
+class RestartSpyStrategy(FixedProbeStrategy):
+    """Records every restart notification it receives."""
+
+    def reset(self, ctx, rng):
+        super().reset(ctx, rng)
+        self.restarted = []
+
+    def on_player_restart(self, round_no, players):
+        self.restarted.append((round_no, sorted(int(p) for p in players)))
+
+
+class StubbornVoteAdversary(Adversary):
+    """Votes for a scripted object every round, forever."""
+
+    name = "stubborn"
+
+    def __init__(self, player, obj):
+        self.player = player
+        self.obj = obj
+
+    def act(self, round_no, view):
+        return [VoteAction(player=self.player, object_id=self.obj)]
+
+
+def two_object_instance(honest=(True, True, False)):
+    """Object 0 bad, object 1 good."""
+    return explicit_instance(
+        values=np.array([0.0, 1.0]),
+        good_mask=np.array([False, True]),
+        honest_mask=np.array(honest),
+        good_threshold=0.5,
+    )
+
+
+def injector(plan, seed=0):
+    return FaultInjector(plan, np.random.default_rng(seed))
+
+
+class TestLossyBillboard:
+    def test_total_loss_keeps_correctness_loses_votes(self):
+        inst = two_object_instance()
+        engine = SynchronousEngine(
+            inst,
+            FixedProbeStrategy(1),
+            fault_injector=injector(FaultPlan(post_loss_rate=1.0)),
+        )
+        metrics = engine.run()
+        # their own probe of the good object satisfies them regardless
+        assert metrics.all_honest_satisfied
+        assert engine.board.posts(kind=PostKind.VOTE) == []
+        assert metrics.fault_info["dropped_posts"] == 2
+        assert metrics.fault_info["undelivered_posts"] == 0
+
+    def test_delayed_votes_land_with_the_delivery_stamp(self):
+        inst = two_object_instance()
+        engine = SynchronousEngine(
+            inst,
+            FixedProbeStrategy(1),
+            fault_injector=injector(
+                FaultPlan(post_delay_rate=1.0, max_post_delay=1)
+            ),
+        )
+        metrics = engine.run()
+        votes = engine.board.posts(kind=PostKind.VOTE)
+        assert len(votes) == 2
+        # probed (and halted) in round 0; the posts landed in round 1
+        assert all(post.round_no == 1 for post in votes)
+        assert metrics.fault_info["delayed_posts"] == 2
+        assert metrics.fault_info["undelivered_posts"] == 0
+        assert metrics.halted_round[inst.honest_mask].tolist() == [0, 0]
+
+    def test_adversary_posts_bypass_the_filter(self):
+        inst = two_object_instance()
+        engine = SynchronousEngine(
+            inst,
+            FixedProbeStrategy(1),
+            adversary=StubbornVoteAdversary(player=2, obj=0),
+            fault_injector=injector(FaultPlan(post_loss_rate=1.0)),
+        )
+        engine.run()
+        votes = engine.board.posts(kind=PostKind.VOTE)
+        assert votes  # the Byzantine vote survives
+        assert all(post.player == 2 for post in votes)
+
+
+class TestChurn:
+    def test_permanent_crashes_halt_players_unsatisfied(self):
+        inst = two_object_instance()
+        engine = SynchronousEngine(
+            inst,
+            FixedProbeStrategy(1),
+            fault_injector=injector(
+                FaultPlan(crash_rate=1.0, restart_after=None)
+            ),
+        )
+        metrics = engine.run()
+        # everyone crashed before their first probe
+        assert not metrics.all_honest_satisfied
+        assert metrics.satisfied_round[inst.honest_mask].tolist() == [-1, -1]
+        assert metrics.halted_round[inst.honest_mask].tolist() == [0, 0]
+        assert metrics.probes.sum() == 0
+        assert metrics.fault_info["crashes"] == 2
+        assert metrics.fault_info["restarts"] == 0
+
+    def test_restarts_rejoin_and_notify_the_strategy(self):
+        inst = two_object_instance()
+        spy = RestartSpyStrategy(1)
+        engine = SynchronousEngine(
+            inst,
+            spy,
+            fault_injector=injector(
+                FaultPlan(crash_rate=0.5, restart_after=2), seed=3
+            ),
+            config=EngineConfig(max_rounds=200),
+        )
+        metrics = engine.run()
+        # with restarts, every honest player finishes eventually
+        assert metrics.all_honest_satisfied
+        assert metrics.fault_info["crashes"] >= 1
+        assert metrics.fault_info["restarts"] == metrics.fault_info["crashes"]
+        assert len(spy.restarted) >= 1
+        for round_no, players in spy.restarted:
+            assert round_no >= 2 and players
+
+    def test_all_down_rounds_idle_instead_of_ending_the_run(self):
+        inst = two_object_instance(honest=(True, False, False))
+        engine = SynchronousEngine(
+            inst,
+            FixedProbeStrategy(1),
+            fault_injector=injector(
+                FaultPlan(crash_rate=1.0, restart_after=3), seed=1
+            ),
+            config=EngineConfig(max_rounds=20, strict=False),
+        )
+        metrics = engine.run()
+        # the lone honest player crashes every time it is up, so the run
+        # alternates down-time and crashes until the budget: the engine
+        # must keep ticking through all-down rounds rather than stopping
+        assert metrics.rounds == 20
+        assert not metrics.all_honest_satisfied
+        assert metrics.fault_info["crashes"] >= 2
+        assert metrics.fault_info["restarts"] >= 1
+
+
+class TestNullPlanIdentity:
+    def _run(self, fault_injector):
+        inst = planted_instance(
+            n=32, m=32, beta=0.125, alpha=0.75,
+            rng=np.random.default_rng(42),
+        )
+        engine = SynchronousEngine(
+            inst,
+            DistillStrategy(),
+            rng=np.random.default_rng(1),
+            adversary_rng=np.random.default_rng(2),
+            fault_injector=fault_injector,
+        )
+        metrics = engine.run()
+        return metrics, engine.board
+
+    def test_null_plan_is_bit_identical_to_no_fault_layer(self):
+        clean_metrics, clean_board = self._run(None)
+        null_metrics, null_board = self._run(injector(FaultPlan()))
+        assert np.array_equal(clean_metrics.probes, null_metrics.probes)
+        assert np.array_equal(
+            clean_metrics.satisfied_round, null_metrics.satisfied_round
+        )
+        assert np.array_equal(
+            clean_metrics.halted_round, null_metrics.halted_round
+        )
+        assert clean_metrics.rounds == null_metrics.rounds
+        assert len(clean_board.posts()) == len(null_board.posts())
+        # the only observable difference: the null injector reports its
+        # (empty) realization
+        assert clean_metrics.fault_info == {}
+        assert null_metrics.fault_info["dropped_posts"] == 0
+
+    def test_fault_realization_reproducible(self):
+        plan = FaultPlan(post_loss_rate=0.3, crash_rate=0.1,
+                         restart_after=2)
+        a, _ = self._run(injector(plan, seed=9))
+        b, _ = self._run(injector(plan, seed=9))
+        assert a.fault_info == b.fault_info
+        assert np.array_equal(a.probes, b.probes)
+        assert a.rounds == b.rounds
+
+
+class TestObservationNoise:
+    def test_noise_perturbs_observed_values(self):
+        inst = two_object_instance()
+
+        class Recorder(FixedProbeStrategy):
+            def reset(self, ctx, rng):
+                super().reset(ctx, rng)
+                self.seen = []
+
+            def handle_results(self, round_no, players, objects, values):
+                self.seen.extend(values.tolist())
+                return super().handle_results(
+                    round_no, players, objects, values
+                )
+
+        recorder = Recorder(1)
+        engine = SynchronousEngine(
+            inst,
+            recorder,
+            fault_injector=injector(
+                FaultPlan(
+                    observation_noise_rate=1.0, observation_noise=0.05
+                )
+            ),
+        )
+        metrics = engine.run()
+        assert metrics.all_honest_satisfied  # 0.05 noise cannot flip 1.0
+        assert recorder.seen
+        assert all(abs(v - 1.0) <= 0.05 + 1e-12 for v in recorder.seen)
+        assert any(v != 1.0 for v in recorder.seen)

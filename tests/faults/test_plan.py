@@ -1,0 +1,56 @@
+"""Tests for the declarative fault plan."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import FaultPlan
+
+
+class TestValidation:
+    def test_defaults_are_null(self):
+        assert FaultPlan().is_null()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"post_loss_rate": -0.1},
+            {"post_loss_rate": 1.5},
+            {"post_delay_rate": -1.0},
+            {"crash_rate": 2.0},
+            {"observation_noise_rate": -0.01},
+            {"post_loss_rate": 0.7, "post_delay_rate": 0.7},
+            {"max_post_delay": 0},
+            {"restart_after": 0},
+            {"restart_after": -3},
+            {"observation_noise": -0.5},
+        ],
+    )
+    def test_bad_parameters_raise(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(**kwargs)
+
+    def test_loss_plus_delay_exactly_one_is_legal(self):
+        FaultPlan(post_loss_rate=0.5, post_delay_rate=0.5)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"post_loss_rate": 0.1},
+            {"post_delay_rate": 0.1},
+            {"crash_rate": 0.1},
+            {"observation_noise_rate": 0.1},
+        ],
+    )
+    def test_any_nonzero_rate_is_not_null(self, kwargs):
+        assert not FaultPlan(**kwargs).is_null()
+
+    def test_parameters_without_rates_stay_null(self):
+        # knobs that only matter once a rate is on don't break identity
+        assert FaultPlan(max_post_delay=10, restart_after=5).is_null()
+
+    def test_plan_is_frozen_and_hashable(self):
+        plan = FaultPlan(post_loss_rate=0.2)
+        with pytest.raises(Exception):
+            plan.post_loss_rate = 0.3
+        assert plan == FaultPlan(post_loss_rate=0.2)
+        assert hash(plan) == hash(FaultPlan(post_loss_rate=0.2))

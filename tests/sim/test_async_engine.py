@@ -262,3 +262,38 @@ class TestAdapterHelpers:
         assert "barrier_waits" in info
         assert "max_virtual_round" in info
         assert info["algorithm"] == "async(distill+timestamps)"
+
+
+class TestLenientPartialMetrics:
+    """Pin the strict=False contract on the async engine: max_steps
+    exhaustion returns partial metrics with satisfied_step == -1 for
+    unsatisfied players, mirroring the synchronous engine."""
+
+    def test_unsatisfied_players_read_minus_one(self):
+        class BadProber(AsyncStrategy):
+            """Always probes object 0 of a world where it is bad."""
+
+            name = "bad-prober"
+
+            def step(self, step_no, player, view):
+                return 0
+
+            def handle_result(self, step_no, player, object_id, value):
+                return False, False  # never votes, never halts
+
+        from repro.world.generators import explicit_instance
+
+        inst = explicit_instance(
+            values=np.array([0.0, 1.0]),
+            good_mask=np.array([False, True]),
+            honest_mask=np.array([True, True]),
+            good_threshold=0.5,
+        )
+        engine = AsynchronousEngine(
+            inst, BadProber(), max_steps=6, strict=False
+        )
+        metrics = engine.run()
+        assert metrics.steps == 6
+        assert not metrics.all_honest_satisfied
+        assert (metrics.satisfied_step == -1).all()
+        assert metrics.probes.tolist() == [3, 3]  # round robin split

@@ -217,3 +217,46 @@ class TestDeterminism:
         assert once(3) == once(3)
         # And a different seed genuinely differs (overwhelmingly likely).
         assert once(3) != once(4)
+
+
+class TestLenientPartialMetrics:
+    """Pin the strict=False contract: max_rounds exhaustion returns a
+    partial RunMetrics in which every unsatisfied player reads
+    satisfied_round == -1 (and stays unhalted), rather than raising."""
+
+    def test_unsatisfied_players_read_minus_one(self):
+        inst = two_object_instance()
+        engine = SynchronousEngine(
+            inst,
+            FixedProbeStrategy([0]),  # only ever probes the bad object
+            config=EngineConfig(max_rounds=7, strict=False),
+        )
+        metrics = engine.run()
+        assert metrics.rounds == 7
+        assert not metrics.all_honest_satisfied
+        assert metrics.satisfied_round[inst.honest_mask].tolist() == [-1, -1]
+        assert metrics.halted_round[inst.honest_mask].tolist() == [-1, -1]
+        # the truncated run still accounts for the probes it did make
+        assert metrics.probes[inst.honest_mask].tolist() == [7, 7]
+        assert metrics.satisfied_fraction == 0.0
+
+    def test_partially_satisfied_run_reports_the_split(self):
+        class SplitStrategy(FixedProbeStrategy):
+            """Player 0 probes the good object, player 1 the bad one."""
+
+            def choose_probes(self, round_no, active_players, view):
+                return np.where(active_players == 0, 1, 0).astype(np.int64)
+
+        inst = two_object_instance()
+        engine = SynchronousEngine(
+            inst,
+            SplitStrategy([0]),
+            config=EngineConfig(max_rounds=4, strict=False),
+        )
+        metrics = engine.run()
+        assert metrics.rounds == 4
+        assert metrics.satisfied_round[0] == 0
+        assert metrics.satisfied_round[1] == -1
+        assert metrics.halted_round[1] == -1
+        assert not metrics.all_honest_satisfied
+        assert metrics.satisfied_fraction == 0.5

@@ -274,3 +274,349 @@ class TestParallelEquivalence:
     def test_all_cores_shorthand(self):
         res = self._run(n_jobs=-1)
         assert res.n_trials == 8
+
+
+class TestSummaryKeyErrors:
+    """Unknown summary keys must fail with a helpful error, not a bare
+    KeyError."""
+
+    @pytest.fixture
+    def res(self):
+        return run_trials(factory(), TrivialStrategy, n_trials=3, seed=0)
+
+    @pytest.mark.parametrize(
+        "call",
+        [
+            lambda r: r.mean("no_such_key"),
+            lambda r: r.std("no_such_key"),
+            lambda r: r.sem("no_such_key"),
+            lambda r: r.ci95("no_such_key"),
+            lambda r: r.quantile("no_such_key", 0.5),
+            lambda r: r.describe("no_such_key"),
+        ],
+    )
+    def test_unknown_key_raises_configuration_error(self, res, call):
+        with pytest.raises(ConfigurationError) as excinfo:
+            call(res)
+        message = str(excinfo.value)
+        assert "no_such_key" in message
+        assert "rounds" in message  # lists what IS available
+
+
+class SleepyStrategy(TrivialStrategy):
+    """Stalls inside the engine long enough to trip any sane timeout."""
+
+    def choose_probes(self, round_no, active_players, view):
+        import time
+
+        time.sleep(10.0)
+        return super().choose_probes(round_no, active_players, view)
+
+
+class TestTimeout:
+    def test_hung_trial_raises_timeout_error(self):
+        from repro.errors import TrialTimeoutError
+
+        with pytest.raises(TrialTimeoutError, match="trial 0"):
+            run_trials(
+                factory(),
+                SleepyStrategy,
+                n_trials=1,
+                seed=0,
+                timeout=0.2,
+            )
+
+    def test_fast_trials_unaffected_by_timeout(self):
+        plain = run_trials(factory(), TrivialStrategy, n_trials=3, seed=5)
+        capped = run_trials(
+            factory(), TrivialStrategy, n_trials=3, seed=5, timeout=60.0
+        )
+        for key in plain.per_trial:
+            assert np.array_equal(
+                plain.per_trial[key], capped.per_trial[key]
+            ), key
+
+    def test_hung_trial_raises_in_pool_worker_too(self):
+        from repro.errors import TrialTimeoutError
+
+        with pytest.raises(TrialTimeoutError):
+            run_trials(
+                factory(),
+                SleepyStrategy,
+                n_trials=2,
+                seed=0,
+                n_jobs=2,
+                timeout=0.2,
+            )
+
+
+class TestBrokenPoolRecovery:
+    """Worker crashes must be retried (bit-identically) and, when the
+    pool keeps dying, degrade to serial execution instead of failing."""
+
+    def _crash_once_factory(self, flag_path):
+        """An instance factory that kills its pool worker on first use."""
+
+        def make(rng):
+            import multiprocessing
+            import os
+
+            if (
+                multiprocessing.parent_process() is not None
+                and not os.path.exists(flag_path)
+            ):
+                with open(flag_path, "w") as handle:
+                    handle.write("crashed")
+                os._exit(13)  # hard-kill the worker: BrokenProcessPool
+            return planted_instance(
+                n=16, m=16, beta=0.25, alpha=0.75, rng=rng
+            )
+
+        return make
+
+    def test_retry_after_worker_crash_is_bit_identical(self, tmp_path):
+        flag = str(tmp_path / "crashed.flag")
+        clean = run_trials(factory(), TrivialStrategy, n_trials=6, seed=11)
+        recovered = run_trials(
+            self._crash_once_factory(flag),
+            TrivialStrategy,
+            n_trials=6,
+            seed=11,
+            n_jobs=2,
+            max_retries=2,
+            backoff_base=0.0,
+        )
+        import os
+
+        assert os.path.exists(flag)  # the crash really happened
+        for key in clean.per_trial:
+            assert np.array_equal(
+                recovered.per_trial[key], clean.per_trial[key]
+            ), key
+
+    def test_degrades_to_serial_when_pool_keeps_dying(self):
+        def always_crash_in_child(rng):
+            import multiprocessing
+            import os
+
+            if multiprocessing.parent_process() is not None:
+                os._exit(13)
+            return planted_instance(
+                n=16, m=16, beta=0.25, alpha=0.75, rng=rng
+            )
+
+        clean = run_trials(factory(), TrivialStrategy, n_trials=4, seed=3)
+        with pytest.warns(RuntimeWarning, match="degrading to serial"):
+            degraded = run_trials(
+                always_crash_in_child,
+                TrivialStrategy,
+                n_trials=4,
+                seed=3,
+                n_jobs=2,
+                max_retries=1,
+                backoff_base=0.0,
+            )
+        for key in clean.per_trial:
+            assert np.array_equal(
+                degraded.per_trial[key], clean.per_trial[key]
+            ), key
+
+    def test_negative_max_retries_rejected(self):
+        with pytest.raises(ConfigurationError, match="max_retries"):
+            run_trials(
+                factory(), TrivialStrategy, n_trials=2, seed=0,
+                max_retries=-1,
+            )
+
+
+class TestCheckpoint:
+    def test_checkpointed_run_matches_plain_run(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        plain = run_trials(factory(), TrivialStrategy, n_trials=5, seed=2)
+        checked = run_trials(
+            factory(), TrivialStrategy, n_trials=5, seed=2,
+            checkpoint_path=path,
+        )
+        for key in plain.per_trial:
+            assert np.array_equal(
+                checked.per_trial[key], plain.per_trial[key]
+            ), key
+
+    def test_interrupted_run_resumes_bit_identically(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        calls = {"n": 0}
+
+        def poisoned(rng):
+            calls["n"] += 1
+            if calls["n"] > 3:
+                raise RuntimeError("simulated crash mid-sweep")
+            return planted_instance(
+                n=16, m=16, beta=0.25, alpha=0.75, rng=rng
+            )
+
+        with pytest.raises(RuntimeError, match="mid-sweep"):
+            run_trials(
+                poisoned, TrivialStrategy, n_trials=6, seed=4,
+                checkpoint_path=path,
+            )
+        # the first three trials were persisted before the crash
+        resumed = run_trials(
+            factory(), TrivialStrategy, n_trials=6, seed=4,
+            checkpoint_path=path,
+        )
+        uninterrupted = run_trials(
+            factory(), TrivialStrategy, n_trials=6, seed=4
+        )
+        for key in uninterrupted.per_trial:
+            assert np.array_equal(
+                resumed.per_trial[key], uninterrupted.per_trial[key]
+            ), key
+
+    def test_completed_checkpoint_short_circuits(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        run_trials(
+            factory(), TrivialStrategy, n_trials=4, seed=8,
+            checkpoint_path=path,
+        )
+        calls = {"n": 0}
+
+        def counting(rng):
+            calls["n"] += 1
+            return planted_instance(
+                n=16, m=16, beta=0.25, alpha=0.75, rng=rng
+            )
+
+        res = run_trials(
+            counting, TrivialStrategy, n_trials=4, seed=8,
+            checkpoint_path=path,
+        )
+        assert calls["n"] == 0  # everything loaded, nothing re-run
+        assert res.n_trials == 4
+
+    def test_seed_mismatch_refused(self, tmp_path):
+        from repro.errors import CheckpointError
+
+        path = str(tmp_path / "sweep.jsonl")
+        run_trials(
+            factory(), TrivialStrategy, n_trials=4, seed=8,
+            checkpoint_path=path,
+        )
+        with pytest.raises(CheckpointError, match="different sweep"):
+            run_trials(
+                factory(), TrivialStrategy, n_trials=4, seed=9,
+                checkpoint_path=path,
+            )
+
+    def test_trial_count_mismatch_refused(self, tmp_path):
+        from repro.errors import CheckpointError
+
+        path = str(tmp_path / "sweep.jsonl")
+        run_trials(
+            factory(), TrivialStrategy, n_trials=4, seed=8,
+            checkpoint_path=path,
+        )
+        with pytest.raises(CheckpointError, match="different sweep"):
+            run_trials(
+                factory(), TrivialStrategy, n_trials=5, seed=8,
+                checkpoint_path=path,
+            )
+
+    def test_keep_metrics_conflict_rejected(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        with pytest.raises(ConfigurationError, match="keep_metrics"):
+            run_trials(
+                factory(), TrivialStrategy, n_trials=2, seed=0,
+                checkpoint_path=path, keep_metrics=True,
+            )
+
+    def test_truncated_trailing_line_tolerated(self, tmp_path):
+        """A sweep killed mid-append leaves a partial last line; resume
+        must shrug it off and re-run that trial."""
+        path = str(tmp_path / "sweep.jsonl")
+        run_trials(
+            factory(), TrivialStrategy, n_trials=4, seed=8,
+            checkpoint_path=path,
+        )
+        with open(path) as handle:
+            content = handle.read().splitlines()
+        with open(path, "w") as handle:
+            handle.write("\n".join(content[:-1]) + "\n")
+            handle.write(content[-1][: len(content[-1]) // 2])  # torn write
+        resumed = run_trials(
+            factory(), TrivialStrategy, n_trials=4, seed=8,
+            checkpoint_path=path,
+        )
+        plain = run_trials(factory(), TrivialStrategy, n_trials=4, seed=8)
+        for key in plain.per_trial:
+            assert np.array_equal(
+                resumed.per_trial[key], plain.per_trial[key]
+            ), key
+
+    def test_parallel_run_checkpoints_too(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        res = run_trials(
+            factory(), TrivialStrategy, n_trials=6, seed=2, n_jobs=2,
+            checkpoint_path=path,
+        )
+        import json
+
+        with open(path) as handle:
+            lines = [json.loads(l) for l in handle.read().splitlines() if l]
+        assert lines[0]["kind"] == "header"
+        assert sorted(e["index"] for e in lines[1:]) == list(range(6))
+        plain = run_trials(factory(), TrivialStrategy, n_trials=6, seed=2)
+        for key in plain.per_trial:
+            assert np.array_equal(
+                res.per_trial[key], plain.per_trial[key]
+            ), key
+
+
+class TestFaultPlanThreading:
+    """run_trials(fault_plan=...) must be deterministic, parallel-safe,
+    and — for null plans — invisible."""
+
+    def _run(self, **kwargs):
+        from repro.faults import FaultPlan
+
+        return run_trials(
+            factory(),
+            TrivialStrategy,
+            n_trials=6,
+            seed=13,
+            fault_plan=FaultPlan(
+                post_loss_rate=0.3, crash_rate=0.1, restart_after=2
+            ),
+            **kwargs,
+        )
+
+    def test_null_plan_bit_identical_to_no_plan(self):
+        from repro.faults import FaultPlan
+
+        bare = run_trials(factory(), TrivialStrategy, n_trials=5, seed=6)
+        null = run_trials(
+            factory(), TrivialStrategy, n_trials=5, seed=6,
+            fault_plan=FaultPlan(),
+        )
+        for key in bare.per_trial:
+            assert np.array_equal(
+                null.per_trial[key], bare.per_trial[key]
+            ), key
+
+    def test_faults_change_results_but_reproducibly(self):
+        clean = run_trials(factory(), TrivialStrategy, n_trials=6, seed=13)
+        faulty_a, faulty_b = self._run(), self._run()
+        for key in clean.per_trial:
+            assert np.array_equal(
+                faulty_a.per_trial[key], faulty_b.per_trial[key]
+            ), key
+        assert not np.array_equal(
+            clean.per_trial["rounds"], faulty_a.per_trial["rounds"]
+        )
+
+    def test_fault_runs_bit_identical_serial_vs_parallel(self):
+        serial = self._run(n_jobs=1)
+        parallel = self._run(n_jobs=2, chunk_size=2)
+        for key in serial.per_trial:
+            assert np.array_equal(
+                serial.per_trial[key], parallel.per_trial[key]
+            ), key

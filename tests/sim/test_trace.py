@@ -124,3 +124,110 @@ class TestEngineTracing:
             if inst.honest_mask[p.player]
         }
         assert traced_votes == honest_board_votes
+
+
+class TestFaultTracing:
+    """Fault events (drops, delays, crashes, restarts, late deliveries)
+    must appear in the structured trace, and traced fault runs must be
+    identical serial vs parallel for a fixed seed."""
+
+    def faulty_run(self, plan, seed=3):
+        from repro.faults import FaultInjector
+
+        inst = planted_instance(
+            n=32, m=32, beta=1 / 8, alpha=0.75,
+            rng=np.random.default_rng(seed),
+        )
+        engine = SynchronousEngine(
+            inst,
+            DistillStrategy(),
+            rng=np.random.default_rng(seed + 1),
+            adversary_rng=np.random.default_rng(seed + 2),
+            config=EngineConfig(trace=True, max_rounds=5000),
+            fault_injector=FaultInjector(
+                plan, np.random.default_rng(seed + 3)
+            ),
+        )
+        metrics = engine.run()
+        return engine, metrics
+
+    def test_drop_events_recorded_and_counted(self):
+        from repro.faults import FaultPlan
+
+        engine, metrics = self.faulty_run(FaultPlan(post_loss_rate=0.5))
+        drops = engine.trace.of_kind("fault_drop")
+        assert len(drops) == metrics.fault_info["dropped_posts"] > 0
+        for event in drops:
+            assert "player" in event.payload
+            assert "object" in event.payload
+
+    def test_delay_and_delivery_events_pair_up(self):
+        from repro.faults import FaultPlan
+
+        engine, metrics = self.faulty_run(
+            FaultPlan(post_delay_rate=0.6, max_post_delay=2)
+        )
+        delays = engine.trace.of_kind("fault_delay")
+        delivers = engine.trace.of_kind("fault_deliver")
+        assert len(delays) == metrics.fault_info["delayed_posts"] > 0
+        assert (
+            len(delivers)
+            == len(delays) - metrics.fault_info["undelivered_posts"]
+        )
+        for event in delays:
+            assert event.payload["deliver_round"] > event.round_no
+
+    def test_crash_and_restart_events_recorded(self):
+        from repro.faults import FaultPlan
+
+        engine, metrics = self.faulty_run(
+            FaultPlan(crash_rate=0.05, restart_after=2)
+        )
+        crashes = engine.trace.of_kind("fault_crash")
+        restarts = engine.trace.of_kind("fault_restart")
+        crashed = sum(len(e.payload["players"]) for e in crashes)
+        restarted = sum(len(e.payload["players"]) for e in restarts)
+        assert crashed == metrics.fault_info["crashes"] > 0
+        assert restarted == metrics.fault_info["restarts"]
+
+    def test_replay_audit_still_holds_under_faults(self):
+        """Fault events never corrupt the probe/halt bookkeeping the
+        replay audit checks."""
+        from repro.faults import FaultPlan
+        from repro.sim.trace import replay_metrics
+
+        engine, metrics = self.faulty_run(
+            FaultPlan(post_loss_rate=0.3, crash_rate=0.03, restart_after=3)
+        )
+        probes, satisfied, halted = replay_metrics(
+            engine.trace,
+            metrics.n,
+            engine.instance.space.good_mask,
+        )
+        assert np.array_equal(probes, metrics.probes)
+        assert np.array_equal(satisfied, metrics.satisfied_round)
+
+    def test_traces_identical_serial_vs_parallel(self):
+        """keep_metrics=True carries traces out of pool workers; the
+        event streams must match the serial run byte for byte."""
+        from repro.faults import FaultPlan
+        from repro.sim.runner import run_trials
+
+        def run(n_jobs):
+            res = run_trials(
+                lambda rng: planted_instance(
+                    n=16, m=16, beta=0.25, alpha=0.75, rng=rng
+                ),
+                DistillStrategy,
+                n_trials=4,
+                seed=21,
+                config=EngineConfig(trace=True),
+                keep_metrics=True,
+                n_jobs=n_jobs,
+                fault_plan=FaultPlan(
+                    post_loss_rate=0.3, crash_rate=0.05, restart_after=2
+                ),
+            )
+            return [m.trace.to_jsonl() for m in res.metrics]
+
+        assert run(1) == run(2)
