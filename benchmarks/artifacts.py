@@ -1,0 +1,32 @@
+"""Benchmark artifact locations.
+
+``BENCH_*.json`` trajectory files are the repo's performance record. The
+canonical copy lives at the **repo root** — next to README.md, where the
+performance tables cite it and CI uploads it — and a second copy is kept
+under ``benchmarks/results/`` so the artifact directory that archives the
+experiment tables stays complete.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict
+
+BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(BENCH_DIR)
+RESULTS_DIR = os.path.join(BENCH_DIR, "results")
+
+
+def write_bench_json(name: str, data: Dict[str, Any]) -> str:
+    """Write one ``BENCH_*.json`` to the repo root and the results dir.
+
+    Returns the canonical (repo-root) path.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    root_path = os.path.join(REPO_ROOT, name)
+    for path in (root_path, os.path.join(RESULTS_DIR, name)):
+        with open(path, "w") as handle:
+            json.dump(data, handle, indent=2)
+            handle.write("\n")
+    return root_path

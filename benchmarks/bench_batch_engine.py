@@ -1,0 +1,151 @@
+"""Trial-lane batching benchmark — single-core speedup from ``batch_lanes``.
+
+One representative E3 cell (DISTILL vs the adaptive split-vote adversary
+at ``n = m``, ``beta = 1/n``) run with ``n_jobs=1`` at lane counts
+``K ∈ {1, 8, 32, 64}``. ``K=1`` is the scalar engine — the pinned
+reference — and every batched run is asserted bit-identical to it before
+any speedup is reported. Results go to ``BENCH_batch.json`` at the repo
+root (copy under ``benchmarks/results/``).
+
+Unlike the process-pool axis (``BENCH_runner.json``), the lane axis is
+*core-count independent*: the win comes from amortizing the Python round
+loop and the per-post billboard bookkeeping across lanes, plus the
+vectorized split-vote slot allocator and the columnar no-hash lane
+boards. A 1-core CI runner shows the same ratios as a workstation.
+
+Run directly (``python benchmarks/bench_batch_engine.py``) or through
+pytest; ``REPRO_BENCH_SCALE=smoke`` shrinks the cell for CI smoke jobs.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import sys
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from repro.adversaries.split_vote import SplitVoteAdversary
+from repro.core.distill import DistillStrategy
+from repro.sim.engine import EngineConfig
+from repro.sim.runner import run_trials
+from repro.world.generators import planted_instance
+
+try:  # pytest imports this as benchmarks.bench_batch_engine
+    from benchmarks.artifacts import REPO_ROOT, write_bench_json
+except ImportError:  # `python benchmarks/bench_batch_engine.py`
+    from artifacts import REPO_ROOT, write_bench_json
+
+OUTPUT_PATH = os.path.join(REPO_ROOT, "BENCH_batch.json")
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "full")
+SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
+
+#: lane counts on the trajectory; K=1 is the scalar reference engine
+LANE_COUNTS = [1, 4, 8] if SCALE == "smoke" else [1, 8, 32, 64]
+
+
+def measure_lane_scaling() -> Dict[str, object]:
+    if SCALE == "smoke":
+        n, trials, alpha = 64, 8, 0.5
+    else:
+        n, trials, alpha = 4096, 64, 0.2
+    beta = 1.0 / n
+
+    def cell(lanes: int):
+        return run_trials(
+            make_instance=lambda rng: planted_instance(
+                n=n, m=n, beta=beta, alpha=alpha, rng=rng
+            ),
+            make_strategy=DistillStrategy,
+            make_adversary=SplitVoteAdversary,
+            n_trials=trials,
+            seed=SEED,
+            config=EngineConfig(max_rounds=500_000),
+            n_jobs=1,
+            batch_lanes=None if lanes == 1 else lanes,
+        )
+
+    reference = None
+    points: List[Dict[str, object]] = []
+    for lanes in LANE_COUNTS:
+        start = time.perf_counter()
+        result = cell(lanes)
+        seconds = time.perf_counter() - start
+        if reference is None:
+            reference = result
+            ref_seconds = seconds
+        bit_identical = all(
+            np.array_equal(reference.per_trial[key], result.per_trial[key])
+            for key in reference.per_trial
+        )
+        assert bit_identical, (
+            f"batch_lanes={lanes} diverged from the scalar engine"
+        )
+        points.append(
+            {
+                "batch_lanes": lanes,
+                "seconds": seconds,
+                "seconds_per_trial": seconds / trials,
+                "speedup_vs_scalar": ref_seconds / max(seconds, 1e-9),
+                "bit_identical": bit_identical,
+            }
+        )
+
+    return {
+        "experiment": (
+            f"E3-representative cell: distill vs split-vote, "
+            f"n=m={n}, beta=1/n, alpha={alpha}"
+        ),
+        "n_trials": trials,
+        "n_jobs": 1,
+        "points": points,
+    }
+
+
+def main() -> Dict[str, object]:
+    data = {
+        "schema": "repro-bench-batch/1",
+        "generated_unix": time.time(),
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": sys.version.split()[0],
+            "numpy": np.__version__,
+        },
+        "config": {"scale": SCALE, "seed": SEED},
+        "lane_scaling": measure_lane_scaling(),
+    }
+    write_bench_json("BENCH_batch.json", data)
+
+    print(f"wrote {OUTPUT_PATH}")
+    for point in data["lane_scaling"]["points"]:
+        print(
+            f"batch_lanes={point['batch_lanes']:>3}: "
+            f"{point['seconds']:7.2f}s "
+            f"({point['seconds_per_trial'] * 1e3:8.1f} ms/trial, "
+            f"{point['speedup_vs_scalar']:5.2f}x vs scalar, "
+            f"bit_identical={point['bit_identical']})"
+        )
+    return data
+
+
+def bench_batch_engine(results_dir):
+    """Pytest entry: record the lane-scaling point and sanity-check it."""
+    data = main()
+    assert os.path.exists(OUTPUT_PATH)
+    points = {
+        p["batch_lanes"]: p for p in data["lane_scaling"]["points"]
+    }
+    assert all(p["bit_identical"] for p in points.values())
+    if SCALE != "smoke":
+        # The PR's headline acceptance: >= 5x single-core at K=32.
+        assert points[32]["speedup_vs_scalar"] >= 5.0
+    else:
+        assert points[max(points)]["speedup_vs_scalar"] > 1.0
+
+
+if __name__ == "__main__":
+    main()

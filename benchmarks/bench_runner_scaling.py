@@ -1,6 +1,7 @@
 """Runner and substrate scaling benchmark — the repo's perf trajectory.
 
-Three measurements, recorded into ``benchmarks/results/BENCH_runner.json``:
+Three measurements, recorded into ``BENCH_runner.json`` at the repo root
+(with a copy under ``benchmarks/results/``):
 
 1. **Runner scaling** — a representative E3 cell (DISTILL vs the adaptive
    split-vote adversary at ``beta = 1/n``) timed serially and with a
@@ -28,7 +29,6 @@ are core-count independent.
 from __future__ import annotations
 
 import bisect
-import json
 import os
 import platform
 import sys
@@ -45,8 +45,12 @@ from repro.sim.engine import EngineConfig
 from repro.sim.runner import run_trials
 from repro.world.generators import planted_instance
 
-RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
-OUTPUT_PATH = os.path.join(RESULTS_DIR, "BENCH_runner.json")
+try:  # pytest imports this as benchmarks.bench_runner_scaling
+    from benchmarks.artifacts import REPO_ROOT, write_bench_json
+except ImportError:  # `python benchmarks/bench_runner_scaling.py`
+    from artifacts import REPO_ROOT, write_bench_json
+
+OUTPUT_PATH = os.path.join(REPO_ROOT, "BENCH_runner.json")
 
 SCALE = os.environ.get("REPRO_BENCH_SCALE", "full")
 JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "4"))
@@ -307,10 +311,7 @@ def main() -> Dict[str, object]:
         "substrate": measure_substrate(),
         "hash_chain": measure_hash_chain(),
     }
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    with open(OUTPUT_PATH, "w") as handle:
-        json.dump(data, handle, indent=2)
-        handle.write("\n")
+    write_bench_json("BENCH_runner.json", data)
 
     scaling = data["runner_scaling"]
     substrate = data["substrate"]

@@ -72,6 +72,7 @@ from repro.extensions import (
 from repro.sim import (
     AsyncRunMetrics,
     AsynchronousEngine,
+    BatchedEngine,
     EngineConfig,
     PerStepAdapter,
     RandomSchedule,
@@ -104,6 +105,7 @@ __all__ = [
     "AsyncEC04Strategy",
     "AsyncRunMetrics",
     "AsynchronousEngine",
+    "BatchedEngine",
     "Billboard",
     "BillboardError",
     "BillboardView",

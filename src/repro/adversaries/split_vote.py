@@ -93,6 +93,18 @@ class SplitVoteAdversary(Adversary):
         self.step11_fraction = step11_fraction
         self.step13_fraction = step13_fraction
 
+    def make_batched(self, n_lanes: int) -> "BatchedSplitVoteAdversary":
+        """Trial-lane counterpart (see :mod:`repro.adversaries.batched`)."""
+        from repro.adversaries.batched import BatchedSplitVoteAdversary
+
+        return BatchedSplitVoteAdversary(
+            n_lanes,
+            params=self.params,
+            step11_fraction=self.step11_fraction,
+            step13_fraction=self.step13_fraction,
+            votes_per_identity=self.votes_per_identity,
+        )
+
     # ------------------------------------------------------------------
     def reset(self, instance: Instance, rng: np.random.Generator) -> None:
         super().reset(instance, rng)
@@ -121,7 +133,9 @@ class SplitVoteAdversary(Adversary):
 
     # ------------------------------------------------------------------
     def act(self, round_no: int, view: BillboardView) -> List[VoteAction]:
-        if not self._unused or self._bad.size == 0:
+        # len() (rather than truthiness) keeps this guard valid for the
+        # vectorized subclass, whose slot pool is an ndarray.
+        if len(self._unused) == 0 or self._bad.size == 0:
             return []
         # Mirror the honest phase computation exactly: advance on the
         # honest start-of-round horizon.

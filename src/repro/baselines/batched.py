@@ -1,0 +1,123 @@
+"""Native batched baselines: trivial random probing and full cooperation.
+
+Both baselines carry almost no state, so their lane-indexed counterparts
+are direct transcriptions — the per-lane draw sequences are the scalar
+implementations' lines executed against each lane's own rng stream, in
+lane order, which keeps them bit-identical to the scalar engine.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.billboard.views import BillboardView
+from repro.strategies.base import StrategyContext
+from repro.strategies.batched import BatchedStrategy
+
+
+class BatchedTrivialStrategy(BatchedStrategy):
+    """Lane-indexed uniform random probing (Section 3's trivial bound)."""
+
+    name = "trivial"
+
+    def reset_lanes(
+        self,
+        contexts: Sequence[StrategyContext],
+        rngs: Sequence[np.random.Generator],
+    ) -> None:
+        for ctx in contexts:
+            if not ctx.supports_local_testing:
+                raise ValueError("TrivialStrategy requires local testing")
+        self._contexts = list(contexts)
+        self._rngs = list(rngs)
+
+    def choose_probes_batch(
+        self,
+        round_no: int,
+        lanes: Sequence[int],
+        active_players: Sequence[np.ndarray],
+        views: Sequence[BillboardView],
+    ) -> List[np.ndarray]:
+        return [
+            self._rngs[k]
+            .integers(self._contexts[k].m, size=active.size)
+            .astype(np.int64)
+            for k, active in zip(lanes, active_players)
+        ]
+
+    def handle_results_batch(
+        self,
+        round_no: int,
+        lanes: Sequence[int],
+        players: Sequence[np.ndarray],
+        objects: Sequence[np.ndarray],
+        values: Sequence[np.ndarray],
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        out: List[Tuple[np.ndarray, np.ndarray]] = []
+        for k, vals in zip(lanes, values):
+            good = vals >= self._contexts[k].good_threshold
+            out.append((good, good))
+        return out
+
+
+class BatchedFullCooperationStrategy(BatchedStrategy):
+    """Lane-indexed without-replacement urn sweep (Theorem 1 witness)."""
+
+    name = "full-cooperation"
+
+    def reset_lanes(
+        self,
+        contexts: Sequence[StrategyContext],
+        rngs: Sequence[np.random.Generator],
+    ) -> None:
+        for ctx in contexts:
+            if not ctx.supports_local_testing:
+                raise ValueError("FullCooperationStrategy requires local testing")
+        self._contexts = list(contexts)
+        self._orders = [
+            rng.permutation(ctx.m).astype(np.int64)
+            for ctx, rng in zip(contexts, rngs)
+        ]
+        self._consumed = [0 for _ in contexts]
+        self._trusted_good: List[Optional[int]] = [None for _ in contexts]
+
+    def choose_probes_batch(
+        self,
+        round_no: int,
+        lanes: Sequence[int],
+        active_players: Sequence[np.ndarray],
+        views: Sequence[BillboardView],
+    ) -> List[np.ndarray]:
+        out: List[np.ndarray] = []
+        for k, active in zip(lanes, active_players):
+            count = active.size
+            trusted = self._trusted_good[k]
+            if trusted is not None:
+                out.append(np.full(count, trusted, dtype=np.int64))
+                continue
+            order = self._orders[k]
+            consumed = self._consumed[k]
+            take = min(count, order.size - consumed)
+            probes = np.full(count, -1, dtype=np.int64)
+            probes[:take] = order[consumed : consumed + take]
+            self._consumed[k] = consumed + take
+            out.append(probes)
+        return out
+
+    def handle_results_batch(
+        self,
+        round_no: int,
+        lanes: Sequence[int],
+        players: Sequence[np.ndarray],
+        objects: Sequence[np.ndarray],
+        values: Sequence[np.ndarray],
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        out: List[Tuple[np.ndarray, np.ndarray]] = []
+        for k, objs, vals in zip(lanes, objects, values):
+            good = vals >= self._contexts[k].good_threshold
+            if good.any() and self._trusted_good[k] is None:
+                self._trusted_good[k] = int(objs[np.flatnonzero(good)[0]])
+            out.append((good, good))
+        return out

@@ -18,6 +18,7 @@ The components are:
 """
 
 from repro.billboard.board import Billboard
+from repro.billboard.lanes import LaneBillboard, LaneBoard
 from repro.billboard.post import Post, PostKind
 from repro.billboard.views import BillboardView
 from repro.billboard.votes import VoteLedger, VoteMode
@@ -25,6 +26,8 @@ from repro.billboard.votes import VoteLedger, VoteMode
 __all__ = [
     "Billboard",
     "BillboardView",
+    "LaneBillboard",
+    "LaneBoard",
     "Post",
     "PostKind",
     "VoteLedger",

@@ -56,11 +56,25 @@ class _IntColumn:
 
     def append(self, value: int) -> None:
         if self._size == self._buf.shape[0]:
-            grown = np.empty(self._buf.shape[0] * 2, dtype=np.int64)
-            grown[: self._size] = self._buf[: self._size]
-            self._buf = grown
+            self._grow(self._size + 1)
         self._buf[self._size] = value
         self._size += 1
+
+    def extend(self, values: np.ndarray) -> None:
+        """Append a block of values in one vectorized copy."""
+        needed = self._size + values.shape[0]
+        if needed > self._buf.shape[0]:
+            self._grow(needed)
+        self._buf[self._size : needed] = values
+        self._size = needed
+
+    def _grow(self, needed: int) -> None:
+        capacity = self._buf.shape[0]
+        while capacity < needed:
+            capacity *= 2
+        grown = np.empty(capacity, dtype=np.int64)
+        grown[: self._size] = self._buf[: self._size]
+        self._buf = grown
 
     def view(self) -> np.ndarray:
         """Zero-copy read-only window onto the filled prefix."""
@@ -133,13 +147,22 @@ class VoteLedger:
         # Current advice target per player; -1 means "no vote yet".
         self._current_vote = np.full(n_players, -1, dtype=np.int64)
 
+        # Effective-vote tally per player (vectorized votes_cast_by).
+        self._vote_counts = np.zeros(n_players, dtype=np.int64)
+
         # Objects with >= 1 effective vote, in first-vote order.
         self._voted_objects: Dict[int, int] = {}
 
         # Per-horizon query memo, invalidated on every effective record.
         # Within one round the engine, tracker, and advice resolution all
-        # query the same horizon; the memo collapses those repeats.
+        # query the same horizon; the memo collapses those repeats. The
+        # memo is *bounded*: engines query monotonically-advancing
+        # horizons, so when a strictly newer horizon arrives, entries for
+        # older horizons are evicted (see _note_horizon). Full-ledger
+        # queries (horizon None) are kept — they are invalidated by
+        # appends, not superseded by later horizons.
         self._memo: Dict[tuple, np.ndarray] = {}
+        self._memo_horizon = -1
 
     # ------------------------------------------------------------------
     # Recording
@@ -149,7 +172,9 @@ class VoteLedger:
 
         Non-vote posts must not be passed here (the board filters).
         """
-        player, obj = post.player, post.object_id
+        return self._record_one(post.round_no, post.player, post.object_id)
+
+    def _record_one(self, round_no: int, player: int, obj: int) -> bool:
         targets = self._votes_by_player[player]
         if self.mode is VoteMode.MUTABLE:
             # Latest vote is current; a repeat of the same object is a
@@ -157,20 +182,65 @@ class VoteLedger:
             if targets and targets[-1] == obj:
                 return False
             targets.append(obj)
-            effective = True
         else:
             if len(targets) >= self.max_votes_per_player:
                 return False  # excess votes are ignored by readers
             if obj in targets:
                 return False  # duplicate vote for the same object
             targets.append(obj)
-            effective = True
-        if effective:
-            self._rounds.append(post.round_no)
-            self._players.append(player)
-            self._objects.append(obj)
-            self._current_vote[player] = obj
-            self._voted_objects.setdefault(obj, post.round_no)
+        self._rounds.append(round_no)
+        self._players.append(player)
+        self._objects.append(obj)
+        self._current_vote[player] = obj
+        self._vote_counts[player] += 1
+        self._voted_objects.setdefault(obj, round_no)
+        self._memo.clear()
+        return True
+
+    def record_block(
+        self, round_no: int, players: np.ndarray, objects: np.ndarray
+    ) -> np.ndarray:
+        """Observe a same-round block of vote posts, in order.
+
+        Equivalent to calling :meth:`record` once per ``(player, object)``
+        pair; returns the per-post effectiveness mask. In ``SINGLE`` mode
+        the whole block is resolved vectorized — this is the batched
+        engine's hot path for adversaries that flood thousands of votes in
+        one round. The other modes fall back to the per-post rule.
+        """
+        players = np.asarray(players, dtype=np.int64)
+        objects = np.asarray(objects, dtype=np.int64)
+        if players.shape != objects.shape:
+            raise ConfigurationError(
+                "record_block needs parallel player/object arrays, got "
+                f"shapes {players.shape} and {objects.shape}"
+            )
+        if self.mode is not VoteMode.SINGLE or players.size < 2:
+            return np.array(
+                [
+                    self._record_one(round_no, int(p), int(o))
+                    for p, o in zip(players, objects)
+                ],
+                dtype=bool,
+            )
+        # SINGLE: a vote is effective iff the player has no prior vote
+        # and this is the player's first vote within the block.
+        no_prior = self._current_vote[players] == -1
+        first_in_block = np.zeros(players.size, dtype=bool)
+        _uniq, first = np.unique(players, return_index=True)
+        first_in_block[first] = True
+        effective = no_prior & first_in_block
+        if effective.any():
+            eff_players = players[effective]
+            eff_objects = objects[effective]
+            self._rounds.extend(np.full(eff_players.size, round_no, np.int64))
+            self._players.extend(eff_players)
+            self._objects.extend(eff_objects)
+            self._current_vote[eff_players] = eff_objects
+            self._vote_counts[eff_players] += 1
+            for p, o in zip(eff_players, eff_objects):
+                self._votes_by_player[p].append(int(o))
+                self._voted_objects.setdefault(int(o), round_no)
             self._memo.clear()
         return effective
 
@@ -202,6 +272,8 @@ class VoteLedger:
         cached = self._memo.get(key)
         if cached is not None:
             return cached.copy()
+        if before_round is not None:
+            self._note_horizon(before_round)
         if before_round is None:
             if self.mode is VoteMode.MULTI:
                 result = self._first_vote_array(len(self._objects))
@@ -244,6 +316,8 @@ class VoteLedger:
         cached = self._memo.get(key)
         if cached is not None:
             return cached.copy()
+        if before_round is not None:
+            self._note_horizon(before_round)
         if before_round is None:
             cutoff = len(self._objects)
         else:
@@ -271,6 +345,7 @@ class VoteLedger:
         cached = self._memo.get(key)
         if cached is not None:
             return cached.copy()
+        self._note_horizon(end_round)
         rounds = self._rounds.view()
         lo = int(np.searchsorted(rounds, start_round, side="left"))
         hi = int(np.searchsorted(rounds, end_round, side="left"))
@@ -295,11 +370,34 @@ class VoteLedger:
         at most ``(1 - α)n`` effective dishonest votes ever (``f`` times
         that in MULTI mode).
         """
-        return int(sum(len(self._votes_by_player[int(p)]) for p in players))
+        ids = np.asarray(players, dtype=np.int64)
+        if ids.size == 0:
+            return 0
+        return int(self._vote_counts[ids].sum())
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _note_horizon(self, horizon: int) -> None:
+        """Bound the memo: evict entries for horizons older than the
+        newest horizon queried.
+
+        Engines query horizons that only ever advance (the current
+        round), so entries keyed by an older horizon will not be asked
+        for again; without eviction a long ``strict=False`` run grows the
+        memo by a few entries per round without bound. An out-of-order
+        (older) query after eviction merely recomputes — never stale.
+        """
+        if horizon <= self._memo_horizon:
+            return
+        self._memo_horizon = horizon
+        stale = [
+            key
+            for key in self._memo
+            if (h := key[-1]) is not None and h < horizon
+        ]
+        for key in stale:
+            del self._memo[key]
     def _count_before(self, before_round: int) -> int:
         """Number of effective votes posted strictly before ``before_round``.
 

@@ -14,6 +14,7 @@ so far (adaptive adversary, Section 2.3).
 """
 
 from repro.sim.actions import VoteAction
+from repro.sim.batch_engine import BatchedEngine, batch_fallback_reason
 from repro.sim.async_engine import (
     AsyncRunMetrics,
     AsyncStrategy,
@@ -37,7 +38,9 @@ __all__ = [
     "AsyncRunMetrics",
     "AsyncStrategy",
     "AsynchronousEngine",
+    "BatchedEngine",
     "EngineConfig",
+    "batch_fallback_reason",
     "PerStepAdapter",
     "RandomSchedule",
     "RoundRobinSchedule",

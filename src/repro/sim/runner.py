@@ -68,6 +68,7 @@ from repro.errors import CheckpointError, ConfigurationError, TrialTimeoutError
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.rng import RngFactory, SeedLike, make_seed_sequence
+from repro.sim.batch_engine import BatchedEngine, batch_fallback_reason
 from repro.sim.engine import EngineConfig, SynchronousEngine
 from repro.sim.metrics import RunMetrics
 from repro.strategies.base import Strategy, StrategyContext
@@ -255,27 +256,45 @@ def _run_trial_chunk(
     state = _WORKER_STATE
     if state is None:  # pragma: no cover - defends against misuse
         raise RuntimeError("worker state missing; was the pool forked?")
-    out = []
-    for index, seed_sequence in chunk:
-        try:
-            record = _execute_trial(RngFactory(seed_sequence), **state)
-        except TrialTimeoutError as exc:
-            raise TrialTimeoutError(f"trial {index}: {exc}") from None
-        out.append((index, record))
-    return out
+    return _run_chunk(chunk, state)
+
+
+#: one-time-per-process flags for the degradation warnings below
+_DEGRADE_WARNED = False
+_BATCH_FALLBACK_WARNED = False
 
 
 def resolve_n_jobs(n_jobs: Optional[int]) -> int:
-    """Normalize an ``n_jobs`` knob: ``None``/1 → serial, ``-1`` → all cores."""
+    """Normalize an ``n_jobs`` knob: ``None``/1 → serial, ``-1`` → all cores.
+
+    A request for more workers than the host has cores is a pessimization
+    (pure pool overhead — the recorded ``BENCH_runner.json`` trajectory
+    shows 0.94× on a 1-core box), so it auto-degrades to the core count
+    (serial on a 1-core host), warning once per process.
+    """
+    global _DEGRADE_WARNED
     if n_jobs is None:
         return 1
     n_jobs = int(n_jobs)
+    cores = max(os.cpu_count() or 1, 1)
     if n_jobs == -1:
-        return max(os.cpu_count() or 1, 1)
+        return cores
     if n_jobs < 1:
         raise ConfigurationError(
             f"n_jobs must be a positive integer or -1 (all cores), got {n_jobs}"
         )
+    if n_jobs > cores:
+        target = "serial execution" if cores == 1 else f"{cores} worker(s)"
+        if not _DEGRADE_WARNED:
+            warnings.warn(
+                f"n_jobs={n_jobs} exceeds the {cores} available core(s); "
+                f"degrading to {target} (a pool larger than the machine is "
+                "pure overhead)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            _DEGRADE_WARNED = True
+        return cores
     return n_jobs
 
 
@@ -299,10 +318,14 @@ def _run_parallel(
     runner stops trusting the pool and finishes the remaining chunks
     serially in-process.
     """
+    lanes = state.get("batch_lanes", 1) or 1
     if chunk_size is None:
         # ~4 chunks per worker: coarse enough to amortize dispatch,
         # fine enough to keep stragglers from idling the pool.
         chunk_size = max(1, math.ceil(len(pending) / (jobs * 4)))
+        if lanes > 1:
+            # Round up to whole lane groups so workers run full batches.
+            chunk_size = math.ceil(chunk_size / lanes) * lanes
     remaining = [
         list(pending[start : start + chunk_size])
         for start in range(0, len(pending), chunk_size)
@@ -363,6 +386,30 @@ def _run_serial_chunk(
     chunk: Sequence[_IndexedSeed], state: Dict[str, Any]
 ) -> List[Tuple[int, _TrialRecord]]:
     """Run one chunk in-process (the serial path and the degraded pool)."""
+    return _run_chunk(chunk, state)
+
+
+def _run_chunk(
+    chunk: Sequence[_IndexedSeed], state: Dict[str, Any]
+) -> List[Tuple[int, _TrialRecord]]:
+    """Execute one chunk of trials, batching into engine lanes if asked.
+
+    ``state`` is the execution-knob dict built by :func:`run_trials`; the
+    ``batch_lanes`` entry (absent or 1 → scalar) is a chunk-runner knob,
+    not an :func:`_execute_trial` argument, so it is split off here.
+    """
+    state = dict(state)
+    lanes = state.pop("batch_lanes", 1) or 1
+    if lanes > 1:
+        out: List[Tuple[int, _TrialRecord]] = []
+        for start in range(0, len(chunk), lanes):
+            group = list(chunk[start : start + lanes])
+            try:
+                out.extend(_execute_trial_batch(group, **state))
+            except TrialTimeoutError as exc:
+                labels = ", ".join(str(index) for index, _seed in group)
+                raise TrialTimeoutError(f"trials {labels}: {exc}") from None
+        return out
     out = []
     for index, seed_sequence in chunk:
         try:
@@ -371,6 +418,75 @@ def _run_serial_chunk(
             raise TrialTimeoutError(f"trial {index}: {exc}") from None
         out.append((index, record))
     return out
+
+
+def _execute_trial_batch(
+    group: Sequence[_IndexedSeed],
+    make_instance: InstanceFactory,
+    make_strategy: StrategyFactory,
+    make_adversary: AdversaryFactory,
+    make_context: Optional[ContextFactory],
+    config: Optional[EngineConfig],
+    keep_metrics: bool,
+    fault_plan: Optional[FaultPlan] = None,
+    timeout: Optional[float] = None,
+) -> List[Tuple[int, _TrialRecord]]:
+    """Run one group of trials as lanes of a single :class:`BatchedEngine`.
+
+    Per lane, the stream spawn order is *exactly* :func:`_execute_trial`'s
+    pinned contract — world, honest coins, adversary coins, faults — from
+    that trial's own pre-derived seed sequence, so each lane's randomness
+    is bit-identical to a scalar run of the same trial. The wall-clock
+    deadline scales with the group: ``timeout`` is a per-trial budget and
+    a batch advances ``len(group)`` trials.
+    """
+    from repro.adversaries.batched import batched_adversary_for
+    from repro.strategies.batched import batched_strategy_for
+
+    if fault_plan is not None and not fault_plan.is_null():
+        raise ConfigurationError(
+            "batched execution does not support fault plans; "
+            "run_trials degrades such configurations to the scalar engine"
+        )
+    budget = timeout * len(group) if timeout is not None else None
+    with _trial_deadline(budget):
+        instances: List[Instance] = []
+        honest_rngs: List[np.random.Generator] = []
+        adversary_rngs: List[np.random.Generator] = []
+        for _index, seed_sequence in group:
+            trial_factory = RngFactory(seed_sequence)
+            world_rng = trial_factory.spawn_generator()
+            honest_rngs.append(trial_factory.spawn_generator())
+            adversary_rngs.append(trial_factory.spawn_generator())
+            trial_factory.spawn_generator()  # the pinned fault/spare stream
+            instances.append(make_instance(world_rng))
+        strategy = batched_strategy_for(make_strategy, len(group))
+        adversary = batched_adversary_for(make_adversary, len(group))
+        ctxs = [
+            make_context(instance) if make_context is not None else None
+            for instance in instances
+        ]
+        engine = BatchedEngine(
+            instances,
+            strategy,
+            adversary=adversary,
+            rngs=honest_rngs,
+            adversary_rngs=adversary_rngs,
+            config=config,
+            ctxs=ctxs,
+        )
+        metrics = engine.run()
+    return [
+        (
+            index,
+            (
+                lane_metrics.summary(),
+                lane_metrics.strategy_info,
+                lane_metrics if keep_metrics else None,
+            ),
+        )
+        for (index, _seed), lane_metrics in zip(group, metrics)
+    ]
 
 
 # ----------------------------------------------------------------------
@@ -480,6 +596,7 @@ def run_trials(
     keep_metrics: bool = False,
     n_jobs: Optional[int] = None,
     chunk_size: Optional[int] = None,
+    batch_lanes: Optional[int] = None,
     fault_plan: Optional[FaultPlan] = None,
     timeout: Optional[float] = None,
     max_retries: int = 2,
@@ -504,8 +621,19 @@ def run_trials(
         unavailable the runner falls back to the serial path. Results are
         bit-identical across all ``n_jobs`` values for the same seed.
     chunk_size:
-        Trials per dispatched work unit (default: ~4 chunks per worker).
-        Affects scheduling only, never results.
+        Trials per dispatched work unit (default: ~4 chunks per worker,
+        rounded up to whole lane groups when batching). Affects
+        scheduling only, never results.
+    batch_lanes:
+        Trials advanced in lockstep per engine invocation (the
+        :class:`~repro.sim.batch_engine.BatchedEngine`). ``None`` or
+        ``1`` uses the scalar engine. Batching composes with ``n_jobs``
+        (each worker runs whole batches), checkpointing, and ``timeout``
+        (the deadline scales with the group size), and per-trial results
+        are **identical** to the scalar engine's for every supported
+        configuration — enforced by the equivalence suite. Unsupported
+        configurations (fault plans, traces) degrade to the scalar
+        engine with a one-time warning.
     fault_plan:
         Optional :class:`~repro.faults.plan.FaultPlan` injected into every
         trial's engine. ``None`` — or a plan with every rate zero — is
@@ -542,6 +670,34 @@ def run_trials(
         )
     jobs = resolve_n_jobs(n_jobs)
 
+    global _BATCH_FALLBACK_WARNED
+    try:
+        lanes = 1 if batch_lanes is None else int(batch_lanes)
+    except (TypeError, ValueError):
+        lanes = 0
+    if lanes < 1:
+        raise ConfigurationError(
+            f"batch_lanes must be a positive integer, got {batch_lanes!r}"
+        )
+    if lanes > 1:
+        effective_plan = (
+            fault_plan
+            if fault_plan is not None and not fault_plan.is_null()
+            else None
+        )
+        reason = batch_fallback_reason(config, effective_plan)
+        if reason is not None:
+            if not _BATCH_FALLBACK_WARNED:
+                warnings.warn(
+                    f"batch_lanes={lanes} is not supported for this "
+                    f"configuration ({reason}); falling back to the scalar "
+                    "engine (results are identical, only slower)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                _BATCH_FALLBACK_WARNED = True
+            lanes = 1
+
     checkpoint: Optional[_Checkpoint] = None
     done: Dict[int, _TrialRecord] = {}
     if checkpoint_path is not None:
@@ -570,6 +726,8 @@ def run_trials(
         fault_plan=fault_plan,
         timeout=timeout,
     )
+    if lanes > 1:
+        state["batch_lanes"] = lanes
     on_chunk_done = checkpoint.append if checkpoint is not None else None
 
     parallel = (
@@ -590,8 +748,9 @@ def run_trials(
             )
         )
     else:
-        for indexed in pending:
-            pairs = _run_serial_chunk([indexed], state)
+        step = lanes if lanes > 1 else 1
+        for start in range(0, len(pending), step):
+            pairs = _run_serial_chunk(pending[start : start + step], state)
             done.update(pairs)
             if on_chunk_done is not None:
                 on_chunk_done(pairs)

@@ -7,6 +7,18 @@ Concrete protocols live in :mod:`repro.core` (the paper's contribution) and
 """
 
 from repro.strategies.base import Strategy, StrategyContext
+from repro.strategies.batched import (
+    BatchedStrategy,
+    PerLaneStrategy,
+    batched_strategy_for,
+)
 from repro.strategies.probe_advice import AdviceAlternator
 
-__all__ = ["AdviceAlternator", "Strategy", "StrategyContext"]
+__all__ = [
+    "AdviceAlternator",
+    "BatchedStrategy",
+    "PerLaneStrategy",
+    "Strategy",
+    "StrategyContext",
+    "batched_strategy_for",
+]

@@ -1,0 +1,22 @@
+"""Shared fixtures for the simulation-layer tests.
+
+``resolve_n_jobs`` degrades oversized pools to the host's core count, so on
+a small CI box every ``n_jobs=2`` test would silently run serial — and the
+broken-pool recovery test (whose trial function calls ``os._exit``) would
+take the whole pytest process down with it. Pin a roomy fake core count so
+the pool tests always exercise real pools; tests of the degrade behaviour
+itself patch ``os.cpu_count`` down explicitly on top of this.
+"""
+
+import os
+
+import pytest
+
+from repro.sim import runner
+
+
+@pytest.fixture(autouse=True)
+def _plenty_of_cores(monkeypatch):
+    monkeypatch.setattr(os, "cpu_count", lambda: 8)
+    monkeypatch.setattr(runner, "_DEGRADE_WARNED", False)
+    monkeypatch.setattr(runner, "_BATCH_FALLBACK_WARNED", False)

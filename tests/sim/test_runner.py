@@ -145,6 +145,48 @@ class TestGuards:
         assert resolve_n_jobs(-1) >= 1
 
 
+class TestPoolDegrade:
+    """Oversized pools degrade to the core count with a single warning."""
+
+    def test_single_core_host_degrades_to_serial(self, monkeypatch):
+        import os
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        with pytest.warns(RuntimeWarning, match="degrading to serial"):
+            assert resolve_n_jobs(4) == 1
+
+    def test_oversized_pool_clamped_to_cores(self, monkeypatch):
+        import os
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 2)
+        with pytest.warns(RuntimeWarning, match="degrading to 2 worker"):
+            assert resolve_n_jobs(16) == 2
+
+    def test_warning_fires_once_per_process(self, monkeypatch):
+        import os
+        import warnings as _warnings
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        with pytest.warns(RuntimeWarning):
+            resolve_n_jobs(3)
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            assert resolve_n_jobs(3) == 1
+
+    def test_degraded_run_still_correct(self, monkeypatch):
+        import os
+
+        serial = run_trials(factory(), TrivialStrategy, n_trials=4, seed=11)
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        with pytest.warns(RuntimeWarning, match="degrading"):
+            degraded = run_trials(
+                factory(), TrivialStrategy, n_trials=4, seed=11, n_jobs=4
+            )
+        assert np.array_equal(
+            serial.per_trial["rounds"], degraded.per_trial["rounds"]
+        )
+
+
 class TestSeedStability:
     """Pin seeded results so refactors cannot silently shift streams.
 
