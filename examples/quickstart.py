@@ -35,9 +35,14 @@ def main() -> None:
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args()
 
-    world_rng = np.random.default_rng(args.seed)
+    # One seed, three independent streams — spawned, never derived by
+    # seed arithmetic (see docs/static_analysis.md, rule RPL004).
+    world_seq, honest_seq, adversary_seq = np.random.SeedSequence(
+        args.seed
+    ).spawn(3)
     instance = planted_instance(
-        n=args.n, m=args.n, beta=args.beta, alpha=args.alpha, rng=world_rng
+        n=args.n, m=args.n, beta=args.beta, alpha=args.alpha,
+        rng=np.random.default_rng(world_seq),
     )
     print(f"world: {instance.describe()}")
     print(
@@ -51,8 +56,8 @@ def main() -> None:
         instance,
         DistillStrategy(),
         adversary=SplitVoteAdversary(),  # adaptive threshold-topping attack
-        rng=np.random.default_rng(args.seed + 1),
-        adversary_rng=np.random.default_rng(args.seed + 2),
+        rng=np.random.default_rng(honest_seq),
+        adversary_rng=np.random.default_rng(adversary_seq),
     )
     metrics = engine.run()
 

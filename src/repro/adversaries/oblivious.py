@@ -78,7 +78,7 @@ class ObliviousSplitVoteAdversary(Adversary):
             batch, voters = voters[:count], voters[count:]
             return [int(p) for p in batch]
 
-        def cast(round_no: int, targets, need: int) -> None:
+        def cast(round_no: int, targets: np.ndarray, need: int) -> None:
             for obj in targets:
                 batch = take(need)
                 if not batch:

@@ -8,7 +8,7 @@ the classes directly.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List
 
 from repro.adversaries.base import Adversary
 from repro.adversaries.concentrate import ConcentrateAdversary
@@ -38,7 +38,7 @@ def available_adversaries() -> List[str]:
     return list(ADVERSARY_REGISTRY)
 
 
-def make_adversary(name: str, **kwargs) -> Adversary:
+def make_adversary(name: str, **kwargs: object) -> Adversary:
     """Instantiate a registered adversary by name."""
     try:
         factory = ADVERSARY_REGISTRY[name]

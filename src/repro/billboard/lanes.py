@@ -41,7 +41,7 @@ class _Column:
 
     __slots__ = ("_buf", "_size")
 
-    def __init__(self, dtype, capacity: int = 64) -> None:
+    def __init__(self, dtype: "np.typing.DTypeLike", capacity: int = 64) -> None:
         self._buf = np.empty(max(int(capacity), 1), dtype=dtype)
         self._size = 0
 

@@ -39,7 +39,7 @@ from repro.experiments import (
 from repro.experiments.config import resolve_n_jobs, set_default_n_jobs
 from repro.experiments.tables import Table
 from repro.sim.engine import EngineConfig
-from repro.sim.runner import run_trials
+from repro.sim.runner import TrialResults, run_trials
 from repro.world.generators import planted_instance
 
 STRATEGIES = {
@@ -203,7 +203,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     return 0 if result.all_checks_pass else 1
 
 
-def _fault_plan_from(args) -> Optional["FaultPlan"]:
+def _fault_plan_from(args: argparse.Namespace) -> Optional["FaultPlan"]:
     """Build the ``run`` subcommand's fault plan (None when faultless).
 
     Uses ``getattr`` defaults because ``gauntlet`` shares
@@ -224,7 +224,7 @@ def _fault_plan_from(args) -> Optional["FaultPlan"]:
     )
 
 
-def _measure_cell(args, adversary_name: str):
+def _measure_cell(args: argparse.Namespace, adversary_name: str) -> TrialResults:
     m = args.m if getattr(args, "m", None) else args.n
     return run_trials(
         make_instance=lambda rng: planted_instance(
@@ -281,9 +281,15 @@ def cmd_show(args: argparse.Namespace) -> int:
     from repro.viz import render_run
     from repro.world.generators import planted_instance
 
+    # Three *independent* streams from one seed. Arithmetic derivation
+    # (seed, seed+1, seed+2) builds correlated PCG64 states; spawning is
+    # the repo-wide stream-derivation discipline (reprolint RPL004).
+    world_seq, honest_seq, adversary_seq = np.random.SeedSequence(
+        args.seed
+    ).spawn(3)
     instance = planted_instance(
         n=args.n, m=args.n, beta=args.beta, alpha=args.alpha,
-        rng=np.random.default_rng(args.seed),
+        rng=np.random.default_rng(world_seq),
     )
     engine = SynchronousEngine(
         instance,
@@ -293,8 +299,8 @@ def cmd_show(args: argparse.Namespace) -> int:
             if args.adversary == "none"
             else make_adversary(args.adversary)
         ),
-        rng=np.random.default_rng(args.seed + 1),
-        adversary_rng=np.random.default_rng(args.seed + 2),
+        rng=np.random.default_rng(honest_seq),
+        adversary_rng=np.random.default_rng(adversary_seq),
     )
     metrics = engine.run()
     print(render_run(engine, metrics))

@@ -18,7 +18,7 @@ Run it with ``EngineConfig(vote_mode=VoteMode.MUTABLE)``.
 from __future__ import annotations
 
 import math
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Tuple
 
 import numpy as np
 

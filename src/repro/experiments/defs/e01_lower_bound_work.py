@@ -16,7 +16,6 @@ both that the bound binds and that our engine's accounting is right.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.baselines.full_cooperation import FullCooperationStrategy
 from repro.experiments.common import measure, planted_factory

@@ -1,0 +1,126 @@
+"""Baseline bookkeeping: explicit, counted, drift-checked suppressions.
+
+The baseline file (``reprolint-baseline.json`` at the repo root) is the
+inventory of *pre-existing* violations that predate the linter — mostly
+test helpers whose golden pins depend on historical rng streams. The
+contract is symmetric:
+
+* a violation **not** in the baseline fails the run (new debt), and
+* a baseline entry with no matching violation **also** fails the run
+  (the debt was paid but the ledger not updated — regenerate with
+  ``--write-baseline`` so the shrink is explicit in the diff).
+
+Entries are keyed by :attr:`Violation.fingerprint` (file + rule +
+flagged-line content), so renumbering lines does not churn the file but
+touching a flagged line does.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.lint.engine import LintError, Violation
+
+_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """Parsed baseline: fingerprint -> expected occurrence count."""
+
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+
+@dataclass
+class BaselineDrift:
+    """How the current tree differs from the committed baseline."""
+
+    new: List[Violation] = field(default_factory=list)
+    stale: List[str] = field(default_factory=list)
+    suppressed: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.new and not self.stale
+
+
+def load_baseline(path: str) -> Baseline:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+    except OSError as exc:
+        raise LintError(f"cannot read baseline {path}: {exc}") from None
+    except json.JSONDecodeError as exc:
+        raise LintError(f"baseline {path} is not valid JSON: {exc}") from None
+    if data.get("version") != _VERSION:
+        raise LintError(
+            f"baseline {path} has version {data.get('version')!r}; "
+            f"this linter reads version {_VERSION}"
+        )
+    counts: Dict[str, int] = {}
+    for entry in data.get("entries", []):
+        counts[entry["fingerprint"]] = (
+            counts.get(entry["fingerprint"], 0) + int(entry.get("count", 1))
+        )
+    return Baseline(counts=counts)
+
+
+def write_baseline(path: str, violations: Sequence[Violation]) -> int:
+    """Write the current violations as the new baseline; returns count."""
+    grouped: Dict[str, Dict[str, object]] = {}
+    for violation in sorted(violations):
+        entry = grouped.setdefault(
+            violation.fingerprint,
+            {
+                "fingerprint": violation.fingerprint,
+                "path": violation.path,
+                "code": violation.code,
+                "line_text": violation.line_text.strip(),
+                "count": 0,
+            },
+        )
+        entry["count"] = int(entry["count"]) + 1  # type: ignore[call-overload]
+    payload = {
+        "version": _VERSION,
+        "comment": (
+            "Pre-existing reprolint violations, explicitly inventoried. "
+            "Shrink it by fixing a violation AND regenerating with "
+            "`python -m repro.lint --write-baseline`; never grow it by "
+            "hand. See docs/static_analysis.md."
+        ),
+        "entries": sorted(
+            grouped.values(), key=lambda e: str(e["fingerprint"])
+        ),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return sum(int(e["count"]) for e in grouped.values())
+
+
+def compare_to_baseline(
+    violations: Sequence[Violation], baseline: Baseline
+) -> BaselineDrift:
+    """Split current violations into baselined / new, and find stale debt."""
+    budget = Counter(baseline.counts)
+    drift = BaselineDrift()
+    for violation in sorted(violations):
+        if budget.get(violation.fingerprint, 0) > 0:
+            budget[violation.fingerprint] -= 1
+            drift.suppressed += 1
+        else:
+            drift.new.append(violation)
+    drift.stale = sorted(
+        fingerprint
+        for fingerprint, remaining in budget.items()
+        if remaining > 0
+        for _ in range(remaining)
+    )
+    return drift

@@ -1,0 +1,132 @@
+"""``python -m repro.lint`` — the determinism-contract gate.
+
+Exit codes: ``0`` clean (every violation baselined), ``1`` dirty (new
+violations, or baseline entries whose debt was paid without updating the
+file), ``2`` usage or I/O error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.lint.baseline import (
+    BaselineDrift,
+    compare_to_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.engine import DEFAULT_PATHS, LintError, lint_paths
+from repro.lint.report import render_json, render_rules, render_text
+
+#: discovered automatically in the working directory when --baseline is
+#: not given, so `python -m repro.lint src tests` run from the repo root
+#: honours the committed inventory
+DEFAULT_BASELINE = "reprolint-baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "reprolint: AST-level enforcement of the repo's determinism "
+            "contract (seeded, spawn-derived rng streams; no wall-clock "
+            "or hash-order dependence in engine packages; batched-parity "
+            "stream discipline)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=list(DEFAULT_PATHS),
+        help=f"files/directories to lint (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help=(
+            "baseline file of inventoried pre-existing violations "
+            f"(default: {DEFAULT_BASELINE} when it exists)"
+        ),
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file; report every violation",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help=(
+            "rewrite the baseline file from the current violations and "
+            "exit 0 (use after intentionally fixing baselined debt)"
+        ),
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every rule code with its rationale and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        sys.stdout.write(render_rules())
+        return 0
+
+    select = (
+        [code.strip() for code in args.select.split(",") if code.strip()]
+        if args.select
+        else None
+    )
+    baseline_path = args.baseline
+    if baseline_path is None and not args.no_baseline:
+        baseline_path = (
+            DEFAULT_BASELINE if os.path.exists(DEFAULT_BASELINE) else None
+        )
+    if args.no_baseline:
+        baseline_path = None
+
+    try:
+        violations = lint_paths(args.paths, select=select)
+        if args.write_baseline:
+            target = args.baseline or DEFAULT_BASELINE
+            count = write_baseline(target, violations)
+            sys.stdout.write(
+                f"reprolint: baseline of {count} violation(s) written to "
+                f"{target}\n"
+            )
+            return 0
+        drift: Optional[BaselineDrift] = None
+        reported = violations
+        if baseline_path is not None:
+            drift = compare_to_baseline(
+                violations, load_baseline(baseline_path)
+            )
+            reported = drift.new
+    except (LintError, ValueError) as exc:
+        sys.stderr.write(f"reprolint: error: {exc}\n")
+        return 2
+
+    renderer = render_json if args.format == "json" else render_text
+    sys.stdout.write(renderer(reported, drift, args.paths))
+    dirty = bool(reported) or (drift is not None and not drift.clean)
+    return 1 if dirty else 0

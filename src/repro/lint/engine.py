@@ -1,0 +1,216 @@
+"""File walking, noqa handling, and the public lint entry points.
+
+Suppression syntax
+------------------
+A violation on line ``L`` is suppressed by a comment *on that line* (the
+first line of the flagged statement) of the form::
+
+    engine.rng = np.random.default_rng()  # repro: noqa=RPL003(caller opts out)
+
+The reason string is **mandatory** — a directive without one is itself a
+violation (``RPL009``), so the suppression inventory stays reviewable.
+Multiple codes may be suppressed on one line::
+
+    # repro: noqa=RPL003(api default), RPL004(pinned legacy stream)
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import io
+import os
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.rules import RULES, check_tree, select_codes
+
+#: what `python -m repro.lint` checks when no paths are given
+DEFAULT_PATHS: Tuple[str, ...] = ("src", "tests")
+
+#: a suppression comment (the whole directive payload captured)
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa\s*=\s*(?P<payload>.+?)\s*$")
+
+#: one entry of the payload: RPLxxx with a mandatory (reason)
+_ENTRY_RE = re.compile(r"^(?P<code>RPL\d{3})\s*(?:\(\s*(?P<reason>[^()]*?)\s*\))?$")
+
+
+class LintError(Exception):
+    """A file could not be linted (unreadable or unparseable)."""
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One finding, carrying everything the reports and baseline need."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    hint: str = field(compare=False)
+    line_text: str = field(compare=False, default="")
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-number-independent identity used by the baseline file.
+
+        Binds the *file*, the *rule*, and the *content* of the flagged
+        line, so unrelated edits that shift line numbers do not churn
+        the baseline, while any change to the flagged line itself
+        surfaces as a new violation.
+        """
+        digest = hashlib.sha256(
+            self.line_text.strip().encode("utf-8")
+        ).hexdigest()[:12]
+        return f"{self.path}::{self.code}::{digest}"
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col + 1}: "
+            f"{self.code} {self.message}\n    hint: {self.hint}"
+        )
+
+
+@dataclass(frozen=True)
+class _Suppression:
+    code: str
+    reason: str
+
+
+def _parse_directives(
+    source: str, path: str
+) -> Tuple[Dict[int, List[_Suppression]], List[Violation]]:
+    """Extract per-line suppressions; malformed directives become RPL009."""
+    lines = source.splitlines()
+    suppressions: Dict[int, List[_Suppression]] = {}
+    bad: List[Violation] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return {}, []
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _NOQA_RE.search(token.string)
+        if match is None:
+            continue
+        line_no = token.start[0]
+        line_text = lines[line_no - 1] if line_no <= len(lines) else ""
+        for raw_entry in match.group("payload").split(","):
+            entry = _ENTRY_RE.match(raw_entry.strip())
+            reason = entry.group("reason") if entry else None
+            code = entry.group("code") if entry else None
+            if (
+                entry is None
+                or not reason
+                or code not in RULES
+            ):
+                detail = (
+                    f"`{raw_entry.strip()}`"
+                    if entry is None or code not in RULES
+                    else f"`{code}` has no reason"
+                )
+                bad.append(
+                    Violation(
+                        path=path,
+                        line=line_no,
+                        col=token.start[1],
+                        code="RPL009",
+                        message=f"{RULES['RPL009'].summary}: {detail}",
+                        hint=RULES["RPL009"].hint,
+                        line_text=line_text,
+                    )
+                )
+                continue
+            suppressions.setdefault(line_no, []).append(
+                _Suppression(code=code, reason=reason)
+            )
+    return suppressions, bad
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    select: Optional[Sequence[str]] = None,
+) -> List[Violation]:
+    """Lint one module's source text; returns unsuppressed violations."""
+    active = select_codes(select)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        raise LintError(f"{path}: cannot parse: {exc}") from None
+    lines = source.splitlines()
+    suppressions, bad_directives = _parse_directives(source, path)
+    out: List[Violation] = [v for v in bad_directives if v.code in active]
+    for raw in check_tree(tree, path):
+        if raw.code not in active:
+            continue
+        if any(
+            s.code == raw.code for s in suppressions.get(raw.line, [])
+        ):
+            continue
+        rule = RULES[raw.code]
+        out.append(
+            Violation(
+                path=path,
+                line=raw.line,
+                col=raw.col,
+                code=raw.code,
+                message=raw.message,
+                hint=rule.hint,
+                line_text=(
+                    lines[raw.line - 1] if raw.line <= len(lines) else ""
+                ),
+            )
+        )
+    return sorted(out)
+
+
+def _iter_python_files(paths: Sequence[str]) -> Iterable[str]:
+    """Expand files/directories into a deterministic .py file list."""
+    seen: Set[str] = set()
+    for path in paths:
+        if os.path.isfile(path):
+            if path not in seen:
+                seen.add(path)
+                yield path
+            continue
+        if not os.path.isdir(path):
+            raise LintError(f"no such file or directory: {path}")
+        for root, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(
+                d
+                for d in dirnames
+                if not d.startswith(".") and d != "__pycache__"
+            )
+            for name in sorted(filenames):
+                if not name.endswith(".py"):
+                    continue
+                full = os.path.join(root, name)
+                if full not in seen:
+                    seen.add(full)
+                    yield full
+
+
+def lint_paths(
+    paths: Sequence[str],
+    select: Optional[Sequence[str]] = None,
+) -> List[Violation]:
+    """Lint files and directory trees; violations sorted by position."""
+    out: List[Violation] = []
+    for file_path in _iter_python_files(paths):
+        try:
+            with open(file_path, encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as exc:
+            raise LintError(f"cannot read {file_path}: {exc}") from None
+        out.extend(lint_source(source, _normalize(file_path), select))
+    return sorted(out)
+
+
+def _normalize(path: str) -> str:
+    """Repo-stable path spelling (relative, forward slashes)."""
+    return os.path.relpath(path).replace(os.sep, "/")

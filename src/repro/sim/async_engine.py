@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
 import numpy as np
 
 if TYPE_CHECKING:  # type-only: avoids importing faults at module load
+    from repro.adversaries.base import Adversary
     from repro.faults.injector import FaultInjector
 
 from repro.billboard.board import Billboard
@@ -146,7 +147,7 @@ class AsynchronousEngine:
         instance: Instance,
         strategy: AsyncStrategy,
         schedule: Optional[Schedule] = None,
-        adversary=None,
+        adversary: Optional["Adversary"] = None,
         value_model: Optional[ValueModel] = None,
         rng: Optional[np.random.Generator] = None,
         schedule_rng: Optional[np.random.Generator] = None,
@@ -164,16 +165,20 @@ class AsynchronousEngine:
         #: current step, like everything else)
         self.adversary = adversary
         self.value_model = value_model or TrueValueModel(instance.space)
-        self.rng = rng if rng is not None else np.random.default_rng()
+        self.rng = (
+            rng
+            if rng is not None
+            else np.random.default_rng()  # repro: noqa=RPL003(unseeded interactive default; seeded callers pass explicit streams)
+        )
         self.schedule_rng = (
             schedule_rng
             if schedule_rng is not None
-            else np.random.default_rng()
+            else np.random.default_rng()  # repro: noqa=RPL003(unseeded interactive default; seeded callers pass explicit streams)
         )
         self.adversary_rng = (
             adversary_rng
             if adversary_rng is not None
-            else np.random.default_rng()
+            else np.random.default_rng()  # repro: noqa=RPL003(unseeded interactive default; seeded callers pass explicit streams)
         )
         self.max_steps = max_steps
         self.strict = strict

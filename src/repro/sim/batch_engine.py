@@ -129,12 +129,18 @@ class BatchedEngine:
         self.rngs = (
             list(rngs)
             if rngs is not None
-            else [np.random.default_rng() for _ in self.instances]
+            else [
+                np.random.default_rng()  # repro: noqa=RPL003(unseeded interactive default; the runner always passes pinned per-lane streams)
+                for _ in self.instances
+            ]
         )
         self.adversary_rngs = (
             list(adversary_rngs)
             if adversary_rngs is not None
-            else [np.random.default_rng() for _ in self.instances]
+            else [
+                np.random.default_rng()  # repro: noqa=RPL003(unseeded interactive default; the runner always passes pinned per-lane streams)
+                for _ in self.instances
+            ]
         )
         self.value_models = (
             list(value_models)

@@ -128,9 +128,15 @@ class SynchronousEngine:
         self.strategy = strategy
         self.adversary = adversary
         self.config = config or EngineConfig()
-        self.rng = rng if rng is not None else np.random.default_rng()
+        self.rng = (
+            rng
+            if rng is not None
+            else np.random.default_rng()  # repro: noqa=RPL003(unseeded interactive default; seeded callers pass explicit streams)
+        )
         self.adversary_rng = (
-            adversary_rng if adversary_rng is not None else np.random.default_rng()
+            adversary_rng
+            if adversary_rng is not None
+            else np.random.default_rng()  # repro: noqa=RPL003(unseeded interactive default; seeded callers pass explicit streams)
         )
         self.value_model = value_model or TrueValueModel(instance.space)
         self.ctx = ctx or StrategyContext(

@@ -51,11 +51,13 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from types import FrameType
 from typing import (
     TYPE_CHECKING,
     Any,
     Callable,
     Dict,
+    Iterator,
     List,
     Optional,
     Sequence,
@@ -154,7 +156,7 @@ class TrialResults:
 # Per-trial execution
 # ----------------------------------------------------------------------
 @contextmanager
-def _trial_deadline(seconds: Optional[float]):
+def _trial_deadline(seconds: Optional[float]) -> Iterator[None]:
     """Raise :class:`TrialTimeoutError` if the block runs past ``seconds``.
 
     Implemented with ``SIGALRM`` so it interrupts a genuinely hung engine
@@ -172,7 +174,7 @@ def _trial_deadline(seconds: Optional[float]):
         yield
         return
 
-    def _expired(signum, frame):
+    def _expired(signum: int, frame: Optional[FrameType]) -> None:
         raise TrialTimeoutError(
             f"trial exceeded its wall-clock budget of {seconds}s"
         )

@@ -23,7 +23,6 @@ argument:
 
 from __future__ import annotations
 
-import math
 from typing import Optional
 
 import numpy as np

@@ -18,8 +18,8 @@ Tracing costs memory proportional to probes, so it is off by default.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Tuple
 
 import numpy as np
 
@@ -92,7 +92,9 @@ class Trace:
             handle.write(self.to_jsonl() + "\n")
 
 
-def replay_metrics(trace: Trace, n_players: int, good_mask: np.ndarray):
+def replay_metrics(
+    trace: Trace, n_players: int, good_mask: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Recompute per-player probes/satisfaction from a trace alone.
 
     Returns ``(probes, satisfied_round, halted_round)`` arrays with the

@@ -16,7 +16,7 @@ docstrings, and bench artifacts unchanged.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 import numpy as np
 

@@ -1,0 +1,186 @@
+"""The pytest-collected determinism-contract gate.
+
+This is the check CI and local runs share: the repo's own ``src`` and
+``tests`` trees must lint clean against the committed baseline. It also
+pins the gate's teeth — a seeded violation (the historical
+``args.seed + 1`` bug) must fail, and fixing baselined debt without
+updating the baseline must fail too (the shrink has to be committed).
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.lint import (
+    compare_to_baseline,
+    lint_paths,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.cli import DEFAULT_BASELINE, main
+
+ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir, os.pardir)
+)
+BASELINE = os.path.join(ROOT, DEFAULT_BASELINE)
+
+
+def repo_paths():
+    return [os.path.join(ROOT, "src"), os.path.join(ROOT, "tests")]
+
+
+class TestRepoIsClean:
+    def test_repo_lints_clean_against_committed_baseline(self):
+        cwd = os.getcwd()
+        os.chdir(ROOT)
+        try:
+            drift = compare_to_baseline(
+                lint_paths(["src", "tests"]), load_baseline(BASELINE)
+            )
+        finally:
+            os.chdir(cwd)
+        assert not drift.new, "new determinism-contract violations:\n" + (
+            "\n".join(v.render() for v in drift.new)
+        )
+        assert not drift.stale, (
+            "baselined violations were fixed without regenerating the "
+            "baseline (run `python -m repro.lint --write-baseline`):\n"
+            + "\n".join(drift.stale)
+        )
+
+    def test_baseline_entries_all_still_matched(self):
+        # the suppressed count equals the committed debt: nothing silently
+        # dropped, nothing double-counted
+        cwd = os.getcwd()
+        os.chdir(ROOT)
+        try:
+            baseline = load_baseline(BASELINE)
+            drift = compare_to_baseline(
+                lint_paths(["src", "tests"]), baseline
+            )
+        finally:
+            os.chdir(cwd)
+        assert drift.suppressed == baseline.total
+
+    def test_every_inline_suppression_carries_a_reason(self):
+        # RPL009 runs unconditionally, so a clean tree implies every
+        # `# repro: noqa` in it has a reason; make that explicit here
+        cwd = os.getcwd()
+        os.chdir(ROOT)
+        try:
+            bare = [
+                v
+                for v in lint_paths(["src", "tests"], select=["RPL009"])
+            ]
+        finally:
+            os.chdir(cwd)
+        assert bare == []
+
+
+class TestGateHasTeeth:
+    def test_seeded_violation_fails_the_gate(self, tmp_path):
+        # reintroduce the exact bug reprolint caught on day one
+        bad = tmp_path / "cli_regression.py"
+        bad.write_text(
+            "import numpy as np\n"
+            "def cmd_show(args):\n"
+            "    rng = np.random.default_rng(args.seed + 1)\n"
+            "    adversary_rng = np.random.default_rng(args.seed + 2)\n"
+            "    return rng, adversary_rng\n"
+        )
+        violations = lint_paths([str(bad)])
+        assert [v.code for v in violations] == ["RPL004", "RPL004"]
+        drift = compare_to_baseline(violations, load_baseline(BASELINE))
+        assert len(drift.new) == 2
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("import numpy as np\n")
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text(
+            "import numpy as np\nrng = np.random.default_rng()\n"
+        )
+        assert main([str(clean), "--no-baseline"]) == 0
+        assert main([str(dirty), "--no-baseline"]) == 1
+        assert main(["--list-rules"]) == 0
+        assert main([str(tmp_path / "missing.py")]) == 2
+        capsys.readouterr()
+
+    def test_stale_baseline_fails_until_regenerated(self, tmp_path, capsys):
+        dirty = tmp_path / "module.py"
+        dirty.write_text(
+            "import numpy as np\nrng = np.random.default_rng()\n"
+        )
+        baseline = tmp_path / "baseline.json"
+        write_baseline(str(baseline), lint_paths([str(dirty)]))
+
+        # baselined: the violation is inventoried, the gate passes
+        assert main([str(dirty), "--baseline", str(baseline)]) == 0
+
+        # debt paid but ledger not updated: the gate must fail
+        dirty.write_text("import numpy as np\nrng = np.random.default_rng(3)\n")
+        assert main([str(dirty), "--baseline", str(baseline)]) == 1
+        out = capsys.readouterr().out
+        assert "stale baseline" in out
+
+        # regenerating the baseline commits the shrink
+        write_baseline(str(baseline), lint_paths([str(dirty)]))
+        assert main([str(dirty), "--baseline", str(baseline)]) == 0
+        capsys.readouterr()
+
+    def test_json_report_shape(self, tmp_path, capsys):
+        dirty = tmp_path / "module.py"
+        dirty.write_text(
+            "import numpy as np\nrng = np.random.default_rng()\n"
+        )
+        code = main([str(dirty), "--no-baseline", "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["tool"] == "reprolint"
+        assert payload["clean"] is False
+        assert payload["counts"] == {"RPL003": 1}
+        (violation,) = payload["violations"]
+        assert violation["code"] == "RPL003"
+        assert violation["hint"]
+        assert violation["fingerprint"].count("::") == 2
+
+    def test_module_entry_point_runs(self):
+        # `python -m repro.lint` is the documented local/CI invocation
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(ROOT, "src") + os.pathsep + env.get(
+            "PYTHONPATH", ""
+        )
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.lint", "src", "tests"],
+            cwd=ROOT,
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "clean" in proc.stdout
+
+
+class TestBaselineFileHygiene:
+    def test_baseline_is_valid_and_versioned(self):
+        with open(BASELINE) as handle:
+            data = json.load(handle)
+        assert data["version"] == 1
+        assert data["entries"], "an empty baseline should simply be deleted"
+
+    def test_baseline_names_only_real_files(self):
+        with open(BASELINE) as handle:
+            data = json.load(handle)
+        for entry in data["entries"]:
+            assert os.path.exists(os.path.join(ROOT, entry["path"])), entry
+
+    @pytest.mark.parametrize("field", ["fingerprint", "path", "code", "count"])
+    def test_baseline_entries_carry_review_fields(self, field):
+        with open(BASELINE) as handle:
+            data = json.load(handle)
+        for entry in data["entries"]:
+            assert field in entry

@@ -1,6 +1,5 @@
 """Tests for the prior-algorithm baseline (EC'04 under round robin)."""
 
-import numpy as np
 import pytest
 
 from repro.baselines.async_ec04 import AsyncEC04Strategy

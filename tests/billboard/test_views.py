@@ -2,7 +2,6 @@
 
 import numpy as np
 
-from repro.billboard.board import Billboard
 from repro.billboard.post import PostKind
 from repro.billboard.views import BillboardView
 

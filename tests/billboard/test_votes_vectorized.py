@@ -9,7 +9,6 @@ mode semantics — including interleaved queries, which exercise the
 per-horizon memo's invalidation on new effective votes.
 """
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

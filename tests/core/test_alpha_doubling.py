@@ -1,6 +1,5 @@
 """Tests for the Section 5.1 guessing-alpha wrapper."""
 
-import numpy as np
 
 from repro.adversaries.split_vote import SplitVoteAdversary
 from repro.core.alpha_doubling import AlphaDoublingStrategy

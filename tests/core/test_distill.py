@@ -9,7 +9,7 @@ from repro.adversaries.split_vote import SplitVoteAdversary
 from repro.billboard.post import PostKind
 from repro.core.distill import DistillStrategy
 from repro.core.parameters import DistillParameters
-from repro.sim.engine import EngineConfig, SynchronousEngine
+from repro.sim.engine import SynchronousEngine
 from repro.sim.runner import run_trials
 from repro.world.generators import planted_instance, valued_instance
 

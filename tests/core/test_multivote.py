@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.adversaries.split_vote import SplitVoteAdversary
-from repro.billboard.post import PostKind
 from repro.billboard.votes import VoteMode
 from repro.core.multivote import MultiVoteDistill
 from repro.errors import ConfigurationError

@@ -1,7 +1,6 @@
 """Tests for the DISTILL phase machine against hand-computed schedules."""
 
 import numpy as np
-import pytest
 
 from repro.billboard.board import Billboard
 from repro.billboard.post import PostKind

@@ -1,7 +1,5 @@
 """Unit tests for the experiment definitions' internal helpers."""
 
-import numpy as np
-import pytest
 
 from repro.experiments.common import measure, planted_factory
 from repro.experiments.defs.e04_epsilon_constant import (

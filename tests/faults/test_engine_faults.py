@@ -11,7 +11,6 @@ The contract under test, per fault kind:
 """
 
 import numpy as np
-import pytest
 
 from repro.adversaries.base import Adversary
 from repro.billboard.post import PostKind

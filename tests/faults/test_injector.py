@@ -1,7 +1,6 @@
 """Tests for the fault decision oracle."""
 
 import numpy as np
-import pytest
 
 from repro.billboard.post import PostKind
 from repro.faults import FaultInjector, FaultPlan

@@ -9,10 +9,7 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.adversaries.flood import FloodAdversary
 from repro.adversaries.registry import make_adversary
-from repro.adversaries.silent import SilentAdversary
-from repro.adversaries.split_vote import SplitVoteAdversary
 from repro.core.distill import DistillStrategy
 from repro.sim.engine import EngineConfig, SynchronousEngine
 from repro.world.generators import planted_instance

@@ -1,6 +1,5 @@
 """Tests for the Theorem 1 urn machinery."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError

@@ -1,7 +1,6 @@
 """Tests for randomness plumbing."""
 
 import numpy as np
-import pytest
 
 from repro.rng import (
     RngFactory,
