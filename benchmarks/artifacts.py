@@ -5,6 +5,12 @@ canonical copy lives at the **repo root** — next to README.md, where the
 performance tables cite it and CI uploads it — and a second copy is kept
 under ``benchmarks/results/`` so the artifact directory that archives the
 experiment tables stays complete.
+
+Every artifact written here carries an embedded ``manifest`` key — a
+:class:`~repro.obs.manifest.RunManifest` whose ``config_hash`` is taken
+over the bench payload itself — so a checked-in number can always be
+traced back to the package versions, host, and git revision that
+produced it.
 """
 
 from __future__ import annotations
@@ -21,12 +27,18 @@ RESULTS_DIR = os.path.join(BENCH_DIR, "results")
 def write_bench_json(name: str, data: Dict[str, Any]) -> str:
     """Write one ``BENCH_*.json`` to the repo root and the results dir.
 
-    Returns the canonical (repo-root) path.
+    A ``manifest`` provenance record is embedded into the payload (the
+    caller's ``data`` mapping is not mutated). Returns the canonical
+    (repo-root) path.
     """
+    from repro.obs.manifest import collect_manifest
+
+    payload = dict(data)
+    payload["manifest"] = collect_manifest(config_payload=data).to_dict()
     os.makedirs(RESULTS_DIR, exist_ok=True)
     root_path = os.path.join(REPO_ROOT, name)
     for path in (root_path, os.path.join(RESULTS_DIR, name)):
         with open(path, "w") as handle:
-            json.dump(data, handle, indent=2)
+            json.dump(payload, handle, indent=2)
             handle.write("\n")
     return root_path

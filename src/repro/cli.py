@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import TYPE_CHECKING, List, Optional
+from typing import TYPE_CHECKING, Any, List, Optional
 
 if TYPE_CHECKING:  # type-only: keep fault imports lazy in the CLI
     from repro.faults.plan import FaultPlan
@@ -63,6 +63,19 @@ def _add_jobs_flag(command: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_obs_flag(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--obs-out",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write an observation JSONL (run manifest + counters/timers) "
+            "here; inspect it with 'repro obs summary'. Never changes "
+            "results."
+        ),
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -81,6 +94,7 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--seed", type=int, default=0)
     exp.add_argument("--out", help="also write the table to this file")
     _add_jobs_flag(exp)
+    _add_obs_flag(exp)
 
     run = sub.add_parser("run", help="one Monte-Carlo cell")
     run.add_argument("--n", type=int, default=256)
@@ -130,6 +144,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSONL checkpoint path (resume an interrupted sweep)",
     )
     _add_jobs_flag(run)
+    _add_obs_flag(run)
 
     bounds = sub.add_parser(
         "bounds", help="print the paper's bound curves at one point"
@@ -164,6 +179,7 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--seed", type=int, default=0)
     rep.add_argument("--out", help="write the report here (default stdout)")
     _add_jobs_flag(rep)
+    _add_obs_flag(rep)
 
     g = sub.add_parser("gauntlet", help="every adversary vs one strategy")
     g.add_argument("--n", type=int, default=256)
@@ -175,6 +191,36 @@ def build_parser() -> argparse.ArgumentParser:
     g.add_argument("--trials", type=int, default=8)
     g.add_argument("--seed", type=int, default=0)
     _add_jobs_flag(g)
+    _add_obs_flag(g)
+
+    o = sub.add_parser(
+        "obs",
+        help="inspect observation files (see docs/observability.md)",
+    )
+    osub = o.add_subparsers(dest="obs_command", required=True)
+    summary = osub.add_parser(
+        "summary", help="per-phase counter/timer breakdown of one file"
+    )
+    summary.add_argument("path", help="observation JSONL (from --obs-out)")
+    summary.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable JSON instead of the text table",
+    )
+    export = osub.add_parser(
+        "export",
+        help="re-emit a file's records as normalized JSONL on stdout",
+    )
+    export.add_argument("path", help="observation JSONL (from --obs-out)")
+    diff = osub.add_parser(
+        "diff",
+        help=(
+            "compare two observation files (manifest fields and event "
+            "counters); exit 1 when they differ"
+        ),
+    )
+    diff.add_argument("path_a", help="first observation JSONL")
+    diff.add_argument("path_b", help="second observation JSONL")
     return parser
 
 
@@ -351,28 +397,102 @@ def cmd_gauntlet(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def cmd_obs(args: argparse.Namespace) -> int:
+    import json
+
+    from repro import obs
+
+    if args.obs_command == "summary":
+        data = obs.load_observations(args.path)
+        if args.json:
+            print(json.dumps(obs.summarize(data), indent=2, sort_keys=True))
+        else:
+            print(obs.render_summary(data))
+        return 0
+    if args.obs_command == "export":
+        data = obs.load_observations(args.path)
+        registry = obs.Registry()
+        for name, value in data.counters.items():
+            registry.counter(name).add(value)
+        for name, (count, total) in data.timers.items():
+            registry.timer(name).add(total, count=count)
+        for line in obs.observation_lines(
+            manifest=data.manifest, registry=registry
+        ):
+            print(line)
+        for record in data.traces:
+            print(json.dumps({"type": "trace", **record}, sort_keys=True))
+        return 0
+    if args.obs_command == "diff":
+        from repro.obs.export import diff_observations
+
+        differences = diff_observations(
+            obs.load_observations(args.path_a),
+            obs.load_observations(args.path_b),
+        )
+        if not differences:
+            print("observations match (manifest fields and counters)")
+            return 0
+        for line in differences:
+            print(line)
+        return 1
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def _write_cli_observations(path: str, registry: Any) -> None:
+    """Persist a command's registry; environmental failures surface as
+    :class:`~repro.errors.ConfigurationError` (caught in :func:`main`)."""
+    from repro.errors import ConfigurationError
+    from repro.obs.export import write_observations
+
+    try:
+        write_observations(
+            path, manifest=registry.manifest, registry=registry
+        )
+    except OSError as exc:
+        raise ConfigurationError(
+            f"cannot write observations to {path!r}: {exc}; check that "
+            "the directory exists and is writable"
+        ) from None
+    print(f"observations written to {path}", file=sys.stderr)
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "list":
+        return cmd_list()
+    if args.command == "experiment":
+        return cmd_experiment(args)
+    if args.command == "run":
+        return cmd_run(args)
+    if args.command == "bounds":
+        return cmd_bounds(args)
+    if args.command == "show":
+        return cmd_show(args)
+    if args.command == "report":
+        return cmd_report(args)
+    if args.command == "gauntlet":
+        return cmd_gauntlet(args)
+    if args.command == "obs":
+        return cmd_obs(args)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    obs_out = getattr(args, "obs_out", None)
     try:
-        if args.command == "list":
-            return cmd_list()
-        if args.command == "experiment":
-            return cmd_experiment(args)
-        if args.command == "run":
-            return cmd_run(args)
-        if args.command == "bounds":
-            return cmd_bounds(args)
-        if args.command == "show":
-            return cmd_show(args)
-        if args.command == "report":
-            return cmd_report(args)
-        if args.command == "gauntlet":
-            return cmd_gauntlet(args)
+        if obs_out is None:
+            return _dispatch(args)
+        from repro.obs.registry import observe
+
+        with observe() as registry:
+            code = _dispatch(args)
+        _write_cli_observations(obs_out, registry)
+        return code
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    raise AssertionError("unreachable")  # pragma: no cover
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -9,7 +9,9 @@ Two artifacts a reproduction should be able to emit on demand:
 * a human-readable report — :func:`generate_report` runs any subset of
   the registry and renders one markdown document (the automated sibling
   of the hand-written EXPERIMENTS.md), exposed as ``repro report`` on
-  the CLI.
+  the CLI. Reports close with a provenance footer (package versions,
+  host, git revision — from :mod:`repro.obs.manifest`) so an archived
+  report states what produced it.
 """
 
 from __future__ import annotations
@@ -110,4 +112,21 @@ def generate_report(
         "",
     ]
     sections = [_result_markdown(result) for result in results]
-    return "\n".join(header + sections)
+    return "\n".join(header + sections + [_provenance_footer()])
+
+
+def _provenance_footer() -> str:
+    """One-line provenance trailer for generated reports."""
+    from repro.obs.manifest import collect_manifest
+
+    manifest = collect_manifest()
+    versions = ", ".join(
+        f"{name} {version}" for name, version in sorted(manifest.versions.items())
+    )
+    rev = manifest.git_rev[:12] if manifest.git_rev else "unknown"
+    return (
+        "---\n"
+        f"*Provenance: {versions}; "
+        f"{manifest.host.get('platform', 'unknown host')}; "
+        f"git `{rev}`.*\n"
+    )

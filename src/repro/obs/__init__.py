@@ -1,0 +1,76 @@
+"""repro.obs — run-provenance and lightweight metrics.
+
+Every artifact this repository publishes — a ``TrialResults``, a
+``BENCH_*.json`` trajectory, an experiment table — is a claim about what
+some code computed on some machine from some seed. This package is the
+layer that makes those claims auditable without re-running anything:
+
+* :class:`~repro.obs.manifest.RunManifest` — a frozen provenance record
+  (config hash, seed fingerprint, package/numpy versions, host info,
+  fault-plan digest, git revision when available) attached to every
+  :class:`~repro.sim.runner.TrialResults` and embedded in every
+  benchmark artifact;
+* :class:`~repro.obs.registry.Registry` — counters and monotonic timers
+  with near-zero disabled cost. Engine code increments counters only
+  (never reads a clock — reprolint's RPL005 wall-clock ban stays
+  intact); the runner layer owns all timers, and even there the clock
+  read happens inside this package, not in ``sim/``;
+* :mod:`~repro.obs.export` — one JSONL schema unifying manifests,
+  counter/timer samples, and the engine's structured
+  :class:`~repro.sim.trace.Trace` events, consumed by the ``repro obs``
+  CLI (``summary`` / ``export`` / ``diff``).
+
+Observability is **off by default** and bit-inert: enabling it never
+touches a random stream, so every ``RunMetrics`` is identical with and
+without it (enforced by ``tests/obs/test_equivalence.py``).
+
+Quickstart
+----------
+>>> from repro import obs
+>>> with obs.observe() as registry:
+...     results = run_trials(make_instance, DistillStrategy, n_trials=8)
+>>> registry.counters()["engine.rounds"] > 0
+True
+>>> obs.write_observations("run.jsonl", manifest=results.manifest,
+...                        registry=registry)
+"""
+
+from repro.obs.export import (
+    load_observations,
+    observation_lines,
+    render_summary,
+    summarize,
+    write_observations,
+)
+from repro.obs.manifest import (
+    RunManifest,
+    collect_manifest,
+    config_digest,
+    fault_plan_digest,
+)
+from repro.obs.registry import (
+    Counter,
+    Registry,
+    Timer,
+    active_registry,
+    observe,
+    set_active_registry,
+)
+
+__all__ = [
+    "Counter",
+    "Registry",
+    "RunManifest",
+    "Timer",
+    "active_registry",
+    "collect_manifest",
+    "config_digest",
+    "fault_plan_digest",
+    "load_observations",
+    "observation_lines",
+    "observe",
+    "render_summary",
+    "set_active_registry",
+    "summarize",
+    "write_observations",
+]

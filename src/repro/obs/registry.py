@@ -1,0 +1,194 @@
+"""Counters, timers, and the process-wide active registry.
+
+A :class:`Registry` is a named bag of :class:`Counter` and
+:class:`Timer` handles. The design constraints, in order:
+
+* **bit-inertness** — metrics never touch a random stream, so enabling
+  them cannot change any seeded result;
+* **near-zero disabled cost** — the engines carry an
+  ``Optional[Registry]`` that defaults to ``None``; the only cost of
+  the disabled path is a ``None`` check per instrumentation site
+  (verified ≤2% on the E3 cell by ``benchmarks/bench_obs_overhead.py``);
+* **clock discipline** — the *only* clock read lives here
+  (:meth:`Timer.time`, ``time.perf_counter``), outside the
+  determinism-critical packages, so reprolint's RPL005 wall-clock rule
+  keeps holding for every engine module. Engine code increments
+  counters; only the runner layer opens timers.
+
+Registries compose across processes: a forked pool worker accumulates
+into a fresh registry and ships a :meth:`Registry.snapshot` back through
+the pickle channel; the parent :meth:`Registry.merge`\\ s it, so counter
+totals are identical for any ``n_jobs``. (Timer *totals* are summed
+across workers, so on a pool they read as CPU-seconds, not wall-clock.)
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+
+class Counter:
+    """A named monotonically-increasing integer."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        """Add ``amount`` (an integer; negative deltas are a bug)."""
+        self.value += int(amount)
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, value={self.value})"
+
+
+class Timer:
+    """A named accumulator of monotonic-clock intervals.
+
+    ``count`` is how many intervals were recorded; ``total_seconds`` is
+    their sum. The clock is ``time.perf_counter`` — monotonic, so timer
+    readings are durations only and never encode wall-clock provenance.
+    """
+
+    __slots__ = ("name", "count", "total_seconds")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total_seconds = 0.0
+
+    @contextmanager
+    def time(self) -> Iterator[None]:
+        """Context manager recording one interval around its body."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(time.perf_counter() - start)
+
+    def add(self, seconds: float, count: int = 1) -> None:
+        """Record ``count`` intervals totalling ``seconds`` (merge hook)."""
+        self.count += int(count)
+        self.total_seconds += float(seconds)
+
+    @property
+    def mean_seconds(self) -> float:
+        """Average interval length (0.0 before the first interval)."""
+        return self.total_seconds / self.count if self.count else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"Timer({self.name!r}, count={self.count}, "
+            f"total_seconds={self.total_seconds:.6f})"
+        )
+
+
+class Registry:
+    """A bag of named counters and timers for one observed run.
+
+    Handles are memoized: ``registry.counter("engine.rounds")`` returns
+    the same :class:`Counter` every call, so hot loops can prefetch a
+    handle once and pay only an attribute increment per event. Names are
+    dotted; the segment before the first dot is the *phase* the
+    ``repro obs summary`` breakdown groups by (``engine.probes`` →
+    phase ``engine``).
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._timers: Dict[str, Timer] = {}
+        #: the most recent :class:`~repro.obs.manifest.RunManifest` a
+        #: run attached while this registry was active (set by
+        #: :func:`repro.sim.runner.run_trials`; ``None`` until then)
+        self.manifest: Optional[Any] = None
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name``, created on first use."""
+        handle = self._counters.get(name)
+        if handle is None:
+            handle = self._counters[name] = Counter(name)
+        return handle
+
+    def timer(self, name: str) -> Timer:
+        """The timer called ``name``, created on first use."""
+        handle = self._timers.get(name)
+        if handle is None:
+            handle = self._timers[name] = Timer(name)
+        return handle
+
+    # ------------------------------------------------------------------
+    def counters(self) -> Dict[str, int]:
+        """All counter values, sorted by name."""
+        return {
+            name: self._counters[name].value
+            for name in sorted(self._counters)
+        }
+
+    def timers(self) -> Dict[str, Tuple[int, float]]:
+        """All timers as ``name -> (count, total_seconds)``, sorted."""
+        return {
+            name: (self._timers[name].count, self._timers[name].total_seconds)
+            for name in sorted(self._timers)
+        }
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """A plain-dict copy of every metric (pickles across the pool)."""
+        return {"counters": self.counters(), "timers": self.timers()}
+
+    def merge(self, snapshot: Dict[str, Any]) -> None:
+        """Fold a :meth:`snapshot` (e.g. from a pool worker) into this
+        registry, summing counters and timer accumulators."""
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).add(value)
+        for name, (count, total) in snapshot.get("timers", {}).items():
+            self.timer(name).add(total, count=count)
+
+    def __repr__(self) -> str:
+        return (
+            f"Registry({len(self._counters)} counters, "
+            f"{len(self._timers)} timers)"
+        )
+
+
+# ----------------------------------------------------------------------
+# The process-wide active registry (the CLI's --obs-out plumbing).
+# Mirrors repro.experiments.config.set_default_n_jobs: observability is
+# orthogonal to results, so a process-wide default beats threading a
+# registry through every experiment definition.
+_ACTIVE: Optional[Registry] = None
+
+
+def active_registry() -> Optional[Registry]:
+    """The process-wide registry runs fall back to (``None`` = off)."""
+    return _ACTIVE
+
+
+def set_active_registry(registry: Optional[Registry]) -> Optional[Registry]:
+    """Install ``registry`` as the process-wide default; returns the
+    previous one so callers can restore it."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = registry
+    return previous
+
+
+@contextmanager
+def observe(registry: Optional[Registry] = None) -> Iterator[Registry]:
+    """Activate a registry for the block (creating one if not given).
+
+    >>> with observe() as reg:
+    ...     run_trials(...)          # doctest: +SKIP
+    >>> reg.counters()               # doctest: +SKIP
+    """
+    registry = registry if registry is not None else Registry()
+    previous = set_active_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_active_registry(previous)

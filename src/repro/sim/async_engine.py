@@ -23,6 +23,7 @@ import numpy as np
 if TYPE_CHECKING:  # type-only: avoids importing faults at module load
     from repro.adversaries.base import Adversary
     from repro.faults.injector import FaultInjector
+    from repro.obs.registry import Registry
 
 from repro.billboard.board import Billboard
 from repro.billboard.post import PostKind
@@ -156,6 +157,7 @@ class AsynchronousEngine:
         strict: bool = True,
         vote_mode: VoteMode = VoteMode.SINGLE,
         fault_injector: Optional["FaultInjector"] = None,
+        obs: Optional["Registry"] = None,
     ) -> None:
         self.instance = instance
         self.strategy = strategy
@@ -186,6 +188,9 @@ class AsynchronousEngine:
         #: per basic *step* here (per round on the synchronous engine),
         #: and ``restart_after`` counts steps
         self.fault_injector = fault_injector
+        #: optional event-counter registry (``async.*`` names; counters
+        #: only — no clock reads in ``sim`` — and bit-inert)
+        self.obs = obs
         self._dishonest_set = set(int(p) for p in instance.dishonest_ids)
         self.ctx = StrategyContext(
             n=instance.n,
@@ -215,6 +220,12 @@ class AsynchronousEngine:
         if self.adversary is not None:
             self.adversary.reset(inst, self.adversary_rng)
 
+        obs = self.obs
+        if obs is not None:
+            count_steps = obs.counter("async.steps").add
+            count_probes = obs.counter("async.probes").add
+            count_votes = obs.counter("async.votes").add
+
         step_no = 0
         while step_no < self.max_steps:
             if faults is not None:
@@ -234,6 +245,8 @@ class AsynchronousEngine:
                 # everyone is down awaiting restart; the step idles
                 step_no += 1
                 continue
+            if obs is not None:
+                count_steps()
             player = self.schedule.next_player(step_no, active_ids)
             if not active[player]:
                 raise SimulationError(
@@ -263,6 +276,8 @@ class AsynchronousEngine:
                         f"strategy {self.strategy.name!r} probed unknown "
                         f"object {target}"
                     )
+                if obs is not None:
+                    count_probes()
                 value = value_model.observe(player, target)
                 probes[player] += 1
                 if inst.space.good_mask[target] and satisfied_step[player] < 0:
@@ -271,6 +286,8 @@ class AsynchronousEngine:
                     step_no, player, target, value
                 )
                 if vote:
+                    if obs is not None:
+                        count_votes()
                     entry = (player, target, value, PostKind.VOTE)
                     if faults is None:
                         delivered = [entry]

@@ -54,6 +54,7 @@ from repro.world.valuemodel import TrueValueModel, ValueModel
 
 if TYPE_CHECKING:  # imported lazily to avoid a package-level cycle
     from repro.adversaries.batched import BatchedAdversary
+    from repro.obs.registry import Registry
 
 
 def batch_fallback_reason(
@@ -94,6 +95,10 @@ class BatchedEngine:
         Per-lane generator streams (the pinned per-trial streams).
     ctxs:
         Optional per-lane :class:`StrategyContext` overrides.
+    obs:
+        Optional :class:`~repro.obs.registry.Registry` the run increments
+        ``batch.*`` event counters into. Counters only (no clock reads in
+        ``sim``); results are bit-identical with or without it.
     """
 
     def __init__(
@@ -106,6 +111,7 @@ class BatchedEngine:
         adversary_rngs: Optional[Sequence[np.random.Generator]] = None,
         config: Optional[EngineConfig] = None,
         ctxs: Optional[Sequence[Optional[StrategyContext]]] = None,
+        obs: Optional["Registry"] = None,
     ) -> None:
         if not instances:
             raise ConfigurationError("BatchedEngine needs at least one lane")
@@ -164,6 +170,7 @@ class BatchedEngine:
         self._dishonest_mask = np.stack(
             [~inst.honest_mask for inst in self.instances]
         )
+        self.obs = obs
 
     @staticmethod
     def _default_ctx(instance: Instance) -> StrategyContext:
@@ -195,6 +202,14 @@ class BatchedEngine:
         if self.adversary is not None:
             self.adversary.reset_lanes(self.instances, self.adversary_rngs)
 
+        obs = self.obs
+        if obs is not None:
+            obs.counter("batch.runs").add()
+            obs.counter("batch.lanes").add(K)
+            count_rounds = obs.counter("batch.rounds").add
+            count_lane_rounds = obs.counter("batch.lane_rounds").add
+            count_probes = obs.counter("batch.probes").add
+
         record_reports = self.config.record_reports
         round_no = 0
         while round_no < self.config.max_rounds:
@@ -215,6 +230,9 @@ class BatchedEngine:
                     lanes.append(k)
             if not lanes:
                 break
+            if obs is not None:
+                count_rounds()
+                count_lane_rounds(len(lanes))
 
             actives = [np.flatnonzero(active[k]) for k in lanes]
             views = [
@@ -261,6 +279,8 @@ class BatchedEngine:
                 )
                 flat_probers = np.concatenate(probers_per_lane)
                 flat_targets = np.concatenate(targets_per_lane)
+                if obs is not None:
+                    count_probes(int(flat_probers.size))
                 probes[lane_idx, flat_probers] += 1
                 paid[lane_idx, flat_probers] += costs[lane_idx, flat_targets]
                 newly_good = good[lane_idx, flat_targets] & (

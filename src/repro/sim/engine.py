@@ -49,6 +49,7 @@ from repro.world.valuemodel import TrueValueModel, ValueModel
 if TYPE_CHECKING:  # imported lazily to avoid a package-level cycle
     from repro.adversaries.base import Adversary
     from repro.faults.injector import FaultInjector
+    from repro.obs.registry import Registry
 
 
 @dataclass
@@ -110,6 +111,13 @@ class SynchronousEngine:
         noise) to the run. ``None`` — the default, and the paper's model
         — leaves every code path byte-identical to the fault-free
         engine. The injector must carry its *own* rng stream.
+    obs:
+        Optional :class:`~repro.obs.registry.Registry` the run increments
+        event counters into (``engine.*``, ``billboard.*``, ``faults.*``).
+        Counters only — the engine never reads a clock, keeping
+        reprolint's wall-clock ban intact for ``sim``. ``None`` (default)
+        costs one predicate check per instrumentation site and results
+        are bit-identical either way.
     """
 
     def __init__(
@@ -123,6 +131,7 @@ class SynchronousEngine:
         config: Optional[EngineConfig] = None,
         ctx: Optional[StrategyContext] = None,
         fault_injector: Optional["FaultInjector"] = None,
+        obs: Optional["Registry"] = None,
     ) -> None:
         self.instance = instance
         self.strategy = strategy
@@ -154,6 +163,7 @@ class SynchronousEngine:
         )
         self._dishonest_set = set(int(p) for p in instance.dishonest_ids)
         self.fault_injector = fault_injector
+        self.obs = obs
         #: populated when ``config.trace`` is on
         self.trace = None
         if self.config.trace:
@@ -187,6 +197,15 @@ class SynchronousEngine:
         if self.adversary is not None:
             self.adversary.reset(inst, self.adversary_rng)
 
+        # Prefetched counter handles: the hot loop pays one attribute
+        # increment per event when observing, one predicate check when not.
+        obs = self.obs
+        if obs is not None:
+            count_round = obs.counter("engine.rounds").add
+            count_probes = obs.counter("engine.probes").add
+            count_votes = obs.counter("engine.votes").add
+            count_halts = obs.counter("engine.halts").add
+
         round_no = 0
         while round_no < self.config.max_rounds:
             if faults is not None:
@@ -195,6 +214,8 @@ class SynchronousEngine:
                 break
             if self.strategy.finished(round_no):
                 break
+            if obs is not None:
+                count_round()
             if faults is not None:
                 # crashes land before probing: a player crashing in round
                 # r does not probe in round r
@@ -239,6 +260,8 @@ class SynchronousEngine:
                 )
 
             if probers.size:
+                if obs is not None:
+                    count_probes(int(probers.size))
                 values = value_model.observe_many(probers, targets)
                 probes[probers] += 1
                 paid[probers] += self._probe_costs(round_no, targets, costs)
@@ -262,6 +285,8 @@ class SynchronousEngine:
 
                 vote_idx = np.flatnonzero(vote_mask)
                 if vote_idx.size:
+                    if obs is not None:
+                        count_votes(int(vote_idx.size))
                     entries = [
                         (
                             int(probers[idx]),
@@ -290,6 +315,8 @@ class SynchronousEngine:
                         )
 
                 halters = probers[halt_mask]
+                if obs is not None and halters.size:
+                    count_halts(int(halters.size))
                 active[halters] = False
                 halted_round[halters] = round_no
                 # a halted player can no longer be pending a restart
@@ -309,6 +336,12 @@ class SynchronousEngine:
                     f"run exceeded {self.config.max_rounds} rounds "
                     f"(strategy={self.strategy.name!r})"
                 )
+
+        if obs is not None and faults is not None:
+            # fold the injector's realization summary (all ints) into the
+            # faults.* phase so obs files carry fault provenance too
+            for key, value in faults.info().items():
+                obs.counter(f"faults.{key}").add(int(value))
 
         sat_honest = satisfied_round[inst.honest_mask] >= 0
         return RunMetrics(
@@ -337,6 +370,10 @@ class SynchronousEngine:
         due = faults.due_posts(round_no)
         if due:
             self.board.append_many(round_no, due)
+            if self.obs is not None:
+                self.obs.counter("billboard.posts_fault_delivered").add(
+                    len(due)
+                )
             if self.trace is not None:
                 for player, object_id, _value, kind in due:
                     self.trace.record(
@@ -376,6 +413,8 @@ class SynchronousEngine:
             )
         if delivered:
             self.board.append_many(round_no, delivered)
+            if self.obs is not None:
+                self.obs.counter("billboard.posts_honest").add(len(delivered))
         if self.trace is not None:
             for player, object_id, _value, kind in delivered:
                 if kind is PostKind.VOTE:
@@ -445,6 +484,8 @@ class SynchronousEngine:
                 )
             )
         self.board.append_many(round_no, entries)
+        if self.obs is not None:
+            self.obs.counter("billboard.posts_adversary").add(len(entries))
         if self.trace is not None:
             for action in actions:
                 self.trace.record(

@@ -49,7 +49,7 @@ import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
-from contextlib import contextmanager
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field
 from types import FrameType
 from typing import (
@@ -69,6 +69,8 @@ import numpy as np
 from repro.errors import CheckpointError, ConfigurationError, TrialTimeoutError
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
+from repro.obs.manifest import RunManifest, collect_manifest
+from repro.obs.registry import Registry, active_registry
 from repro.rng import RngFactory, SeedLike, make_seed_sequence
 from repro.sim.batch_engine import BatchedEngine, batch_fallback_reason
 from repro.sim.engine import EngineConfig, SynchronousEngine
@@ -103,6 +105,9 @@ class TrialResults:
     per_trial: Dict[str, np.ndarray]
     metrics: List[RunMetrics] = field(default_factory=list)
     strategy_infos: List[Dict[str, Any]] = field(default_factory=list)
+    #: provenance record for the sweep (see :mod:`repro.obs.manifest`);
+    #: ``None`` only for hand-built instances
+    manifest: Optional[RunManifest] = None
 
     @property
     def n_trials(self) -> int:
@@ -198,6 +203,7 @@ def _execute_trial(
     keep_metrics: bool,
     fault_plan: Optional[FaultPlan] = None,
     timeout: Optional[float] = None,
+    obs: Optional[Registry] = None,
 ) -> _TrialRecord:
     """Run one trial from its dedicated rng factory.
 
@@ -232,8 +238,11 @@ def _execute_trial(
             config=config,
             ctx=ctx,
             fault_injector=injector,
+            obs=obs,
         )
         result = engine.run()
+        if obs is not None:
+            obs.counter("trial.completed").add()
         return (
             result.summary(),
             result.strategy_info,
@@ -254,11 +263,25 @@ _WORKER_STATE: Optional[Dict[str, Any]] = None
 
 def _run_trial_chunk(
     chunk: Sequence[_IndexedSeed],
-) -> List[Tuple[int, _TrialRecord]]:
+) -> Tuple[List[Tuple[int, _TrialRecord]], Optional[Dict[str, Any]]]:
+    """Worker entry: run one chunk, shipping metrics home as a snapshot.
+
+    A forked worker inherits the parent's :class:`Registry` by memory
+    snapshot, so increments made here would be invisible to the parent.
+    Each chunk therefore accumulates into a *fresh* registry (fresh per
+    chunk, not per worker — a worker that handles several chunks must not
+    re-ship earlier chunks' counts) whose plain-dict snapshot returns
+    through the pickle channel for the parent to merge.
+    """
     state = _WORKER_STATE
     if state is None:  # pragma: no cover - defends against misuse
         raise RuntimeError("worker state missing; was the pool forked?")
-    return _run_chunk(chunk, state)
+    if state.get("obs") is None:
+        return _run_chunk(chunk, state), None
+    local_state = dict(state)
+    local = local_state["obs"] = Registry()
+    pairs = _run_chunk(chunk, local_state)
+    return pairs, local.snapshot()
 
 
 #: one-time-per-process flags for the degradation warnings below
@@ -335,8 +358,14 @@ def _run_parallel(
     context = multiprocessing.get_context("fork")
     results: Dict[int, _TrialRecord] = {}
     attempt = 0
+    obs: Optional[Registry] = state.get("obs")
 
-    def harvest(pairs: List[Tuple[int, _TrialRecord]]) -> None:
+    def harvest(
+        outcome: Tuple[List[Tuple[int, _TrialRecord]], Optional[Dict[str, Any]]]
+    ) -> None:
+        pairs, snapshot = outcome
+        if snapshot is not None and obs is not None:
+            obs.merge(snapshot)
         results.update(pairs)
         if on_chunk_done is not None:
             on_chunk_done(pairs)
@@ -373,7 +402,9 @@ def _run_parallel(
                         stacklevel=3,
                     )
                     for chunk in remaining:
-                        harvest(_run_serial_chunk(chunk, state))
+                        # in-process: obs increments land directly in the
+                        # parent registry, so there is no snapshot to merge
+                        harvest((_run_serial_chunk(chunk, state), None))
                     remaining = []
                 else:
                     delay = backoff_base * (2 ** (attempt - 1))
@@ -402,6 +433,9 @@ def _run_chunk(
     """
     state = dict(state)
     lanes = state.pop("batch_lanes", 1) or 1
+    obs: Optional[Registry] = state.get("obs")
+    if obs is not None:
+        obs.counter("runner.chunks").add()
     if lanes > 1:
         out: List[Tuple[int, _TrialRecord]] = []
         for start in range(0, len(chunk), lanes):
@@ -432,6 +466,7 @@ def _execute_trial_batch(
     keep_metrics: bool,
     fault_plan: Optional[FaultPlan] = None,
     timeout: Optional[float] = None,
+    obs: Optional[Registry] = None,
 ) -> List[Tuple[int, _TrialRecord]]:
     """Run one group of trials as lanes of a single :class:`BatchedEngine`.
 
@@ -476,8 +511,12 @@ def _execute_trial_batch(
             adversary_rngs=adversary_rngs,
             config=config,
             ctxs=ctxs,
+            obs=obs,
         )
         metrics = engine.run()
+    if obs is not None:
+        obs.counter("trial.completed").add(len(group))
+        obs.counter("trial.batched").add(len(group))
     return [
         (
             index,
@@ -503,6 +542,26 @@ def _jsonable(value: Any) -> Any:
     if isinstance(value, np.ndarray):
         return value.tolist()
     raise TypeError(f"not JSON-serializable: {type(value)!r}")
+
+
+def _open_checkpoint(path: str, mode: str) -> Any:
+    """Open a checkpoint file, translating environmental failures.
+
+    A missing parent directory or a read-only filesystem is a caller
+    configuration problem, not a corrupt checkpoint, so it surfaces as
+    :class:`ConfigurationError` with the actionable path/reason instead
+    of a raw ``OSError`` traceback mid-sweep. Note ``os.access`` is no
+    pre-check here: it reports writable for root even on read-only
+    mounts, so only the real ``open`` tells the truth.
+    """
+    try:
+        return open(path, mode)
+    except OSError as exc:
+        action = "read" if mode == "r" else "write"
+        raise ConfigurationError(
+            f"cannot {action} checkpoint {path!r}: {exc}; check that the "
+            "directory exists and is writable"
+        ) from None
 
 
 class _Checkpoint:
@@ -532,10 +591,10 @@ class _Checkpoint:
         chunk resumes cleanly).
         """
         if not os.path.exists(self.path):
-            with open(self.path, "w") as handle:
+            with _open_checkpoint(self.path, "w") as handle:
                 handle.write(json.dumps(self.header, sort_keys=True) + "\n")
             return {}
-        with open(self.path) as handle:
+        with _open_checkpoint(self.path, "r") as handle:
             lines = [line for line in handle.read().splitlines() if line]
         if not lines:
             raise CheckpointError(f"checkpoint {self.path} is empty")
@@ -572,7 +631,7 @@ class _Checkpoint:
 
     def append(self, pairs: Sequence[Tuple[int, _TrialRecord]]) -> None:
         """Persist completed trials (one JSON line each, flushed)."""
-        with open(self.path, "a") as handle:
+        with _open_checkpoint(self.path, "a") as handle:
             for index, (row, info, _metrics) in pairs:
                 handle.write(
                     json.dumps(
@@ -604,6 +663,7 @@ def run_trials(
     max_retries: int = 2,
     backoff_base: float = 0.5,
     checkpoint_path: Optional[str] = None,
+    obs: Optional[Registry] = None,
 ) -> TrialResults:
     """Run ``n_trials`` independent simulations and aggregate summaries.
 
@@ -661,6 +721,17 @@ def run_trials(
         arrays are bit-identical to an uninterrupted run. Incompatible
         with ``keep_metrics`` (full :class:`RunMetrics` records are not
         checkpointable).
+    obs:
+        Optional :class:`~repro.obs.registry.Registry` collecting
+        counters and timers for this sweep; ``None`` falls back to the
+        process-wide :func:`~repro.obs.registry.active_registry` (itself
+        ``None`` unless installed — observability is off by default).
+        Metrics are bit-inert: they never touch a random stream, so
+        every result is identical with and without a registry, for any
+        ``n_jobs``/``batch_lanes`` (enforced by the obs equivalence
+        suite). The sweep's :class:`~repro.obs.manifest.RunManifest` is
+        always attached to the returned :class:`TrialResults` and, when
+        a registry is active, stashed on ``registry.manifest``.
     """
     if n_trials < 1:
         raise ConfigurationError(
@@ -711,6 +782,17 @@ def run_trials(
         checkpoint = _Checkpoint(checkpoint_path, seed, n_trials)
         done = checkpoint.load()
 
+    registry = obs if obs is not None else active_registry()
+    manifest = collect_manifest(
+        seed=seed, n_trials=n_trials, config=config, fault_plan=fault_plan
+    )
+    if registry is not None:
+        registry.manifest = manifest
+        registry.counter("runner.runs").add()
+        registry.counter("runner.trials_requested").add(n_trials)
+        if done:
+            registry.counter("runner.trials_resumed").add(len(done))
+
     root = RngFactory.from_seed(seed)
     trial_factories = list(root.trial_factories(n_trials))
     pending: List[_IndexedSeed] = [
@@ -727,6 +809,7 @@ def run_trials(
         keep_metrics=keep_metrics,
         fault_plan=fault_plan,
         timeout=timeout,
+        obs=registry,
     )
     if lanes > 1:
         state["batch_lanes"] = lanes
@@ -737,25 +820,33 @@ def run_trials(
         and len(pending) > 1
         and "fork" in multiprocessing.get_all_start_methods()
     )
-    if parallel:
-        done.update(
-            _run_parallel(
-                pending,
-                jobs,
-                chunk_size,
-                state,
-                max_retries,
-                backoff_base,
-                on_chunk_done,
+    # The only timing in the runner layer: the Timer owns the clock read
+    # (inside repro.obs, outside the determinism-critical packages).
+    span = (
+        registry.timer("runner.run_trials").time()
+        if registry is not None
+        else nullcontext()
+    )
+    with span:
+        if parallel:
+            done.update(
+                _run_parallel(
+                    pending,
+                    jobs,
+                    chunk_size,
+                    state,
+                    max_retries,
+                    backoff_base,
+                    on_chunk_done,
+                )
             )
-        )
-    else:
-        step = lanes if lanes > 1 else 1
-        for start in range(0, len(pending), step):
-            pairs = _run_serial_chunk(pending[start : start + step], state)
-            done.update(pairs)
-            if on_chunk_done is not None:
-                on_chunk_done(pairs)
+        else:
+            step = lanes if lanes > 1 else 1
+            for start in range(0, len(pending), step):
+                pairs = _run_serial_chunk(pending[start : start + step], state)
+                done.update(pairs)
+                if on_chunk_done is not None:
+                    on_chunk_done(pairs)
 
     records = [done[index] for index in range(n_trials)]
     rows = [record[0] for record in records]
@@ -767,4 +858,9 @@ def run_trials(
         key: np.array([row[key] for row in rows], dtype=np.float64)
         for key in keys
     }
-    return TrialResults(per_trial=per_trial, metrics=kept, strategy_infos=infos)
+    return TrialResults(
+        per_trial=per_trial,
+        metrics=kept,
+        strategy_infos=infos,
+        manifest=manifest,
+    )

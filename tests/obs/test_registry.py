@@ -1,0 +1,108 @@
+"""Registry, Counter, Timer, and the process-wide active registry."""
+
+from repro.obs.registry import (
+    Counter,
+    Registry,
+    Timer,
+    active_registry,
+    observe,
+    set_active_registry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("engine.rounds")
+        assert counter.value == 0
+        counter.add()
+        counter.add(5)
+        assert counter.value == 6
+
+    def test_registry_memoizes_handles(self):
+        registry = Registry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.counter("a") is not registry.counter("b")
+
+
+class TestTimer:
+    def test_time_records_one_interval(self):
+        timer = Timer("runner.run_trials")
+        with timer.time():
+            pass
+        assert timer.count == 1
+        assert timer.total_seconds >= 0.0
+
+    def test_add_merges_counts_and_seconds(self):
+        timer = Timer("t")
+        timer.add(1.5, count=3)
+        assert timer.count == 3
+        assert timer.total_seconds == 1.5
+        assert timer.mean_seconds == 0.5
+
+    def test_mean_is_zero_before_first_interval(self):
+        assert Timer("t").mean_seconds == 0.0
+
+
+class TestSnapshotMerge:
+    def test_snapshot_round_trips_through_merge(self):
+        source = Registry()
+        source.counter("engine.rounds").add(10)
+        source.timer("runner.run_trials").add(0.25, count=2)
+
+        target = Registry()
+        target.counter("engine.rounds").add(1)
+        target.merge(source.snapshot())
+        assert target.counters() == {"engine.rounds": 11}
+        assert target.timers() == {"runner.run_trials": (2, 0.25)}
+
+    def test_snapshot_is_plain_data(self):
+        """Snapshots cross the pool's pickle channel: dicts and tuples
+        only, no live handles."""
+        import pickle
+
+        registry = Registry()
+        registry.counter("a").add(3)
+        registry.timer("b").add(0.1)
+        snapshot = pickle.loads(pickle.dumps(registry.snapshot()))
+        fresh = Registry()
+        fresh.merge(snapshot)
+        assert fresh.counters() == {"a": 3}
+
+    def test_views_are_sorted_by_name(self):
+        registry = Registry()
+        for name in ("z.last", "a.first", "m.middle"):
+            registry.counter(name).add()
+        assert list(registry.counters()) == ["a.first", "m.middle", "z.last"]
+
+
+class TestActiveRegistry:
+    def test_default_is_off(self):
+        assert active_registry() is None
+
+    def test_set_returns_previous(self):
+        registry = Registry()
+        previous = set_active_registry(registry)
+        try:
+            assert previous is None
+            assert active_registry() is registry
+        finally:
+            set_active_registry(previous)
+
+    def test_observe_installs_and_restores(self):
+        assert active_registry() is None
+        with observe() as registry:
+            assert active_registry() is registry
+        assert active_registry() is None
+
+    def test_observe_accepts_existing_registry(self):
+        mine = Registry()
+        with observe(mine) as registry:
+            assert registry is mine
+
+    def test_observe_restores_on_error(self):
+        try:
+            with observe():
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert active_registry() is None

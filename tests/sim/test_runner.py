@@ -662,3 +662,60 @@ class TestFaultPlanThreading:
             assert np.array_equal(
                 serial.per_trial[key], parallel.per_trial[key]
             ), key
+
+
+class TestCheckpointEnvironment:
+    """Environmental checkpoint failures surface as ConfigurationError
+    (the CLI turns those into a clean exit-2 message), never as a raw
+    OSError traceback mid-sweep."""
+
+    def test_missing_directory_is_configuration_error(self):
+        with pytest.raises(ConfigurationError, match="checkpoint"):
+            run_trials(
+                factory(), TrivialStrategy, n_trials=2, seed=1,
+                checkpoint_path="/no/such/directory/sweep.jsonl",
+            )
+
+    def test_error_names_the_path_and_the_fix(self):
+        path = "/no/such/directory/sweep.jsonl"
+        with pytest.raises(ConfigurationError) as excinfo:
+            run_trials(
+                factory(), TrivialStrategy, n_trials=2, seed=1,
+                checkpoint_path=path,
+            )
+        message = str(excinfo.value)
+        assert path in message
+        assert "writable" in message
+
+    def test_unwritable_directory_is_configuration_error(self, tmp_path):
+        import os
+        import subprocess
+
+        target = tmp_path / "frozen"
+        target.mkdir()
+        # Running as root ignores permission bits, so freeze the
+        # directory with chattr +i where available; otherwise chmod 500
+        # covers the unprivileged case.
+        immutable = (
+            subprocess.run(
+                ["chattr", "+i", str(target)], capture_output=True
+            ).returncode
+            == 0
+        )
+        if not immutable:
+            target.chmod(0o500)
+            if os.access(str(target), os.W_OK):
+                pytest.skip("cannot produce an unwritable directory here")
+        try:
+            with pytest.raises(ConfigurationError, match="checkpoint"):
+                run_trials(
+                    factory(), TrivialStrategy, n_trials=2, seed=1,
+                    checkpoint_path=str(target / "sweep.jsonl"),
+                )
+        finally:
+            if immutable:
+                subprocess.run(
+                    ["chattr", "-i", str(target)], capture_output=True
+                )
+            else:
+                target.chmod(0o700)

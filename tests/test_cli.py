@@ -113,3 +113,96 @@ class TestReport:
         capsys.readouterr()
         assert code == 0
         assert "## E1" in path.read_text()
+
+
+class TestObsFlag:
+    def test_run_writes_observation_file(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        code = main([
+            "run", "--n", "64", "--trials", "4", "--adversary", "none",
+            "--obs-out", str(path),
+        ])
+        capsys.readouterr()
+        assert code == 0
+        from repro.obs import load_observations
+
+        data = load_observations(str(path))
+        assert data.manifest is not None
+        assert data.counters["trial.completed"] == 4
+        assert "runner.run_trials" in data.timers
+
+    def test_unwritable_obs_out_is_clean_error(self, capsys):
+        code = main([
+            "run", "--n", "64", "--trials", "2", "--adversary", "none",
+            "--obs-out", "/no/such/dir/run.jsonl",
+        ])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "error" in captured.err
+
+    def test_obs_flag_leaves_results_unchanged(self, tmp_path, capsys):
+        plain = main([
+            "run", "--n", "64", "--trials", "4", "--adversary", "none",
+            "--seed", "5",
+        ])
+        first = capsys.readouterr().out
+        observed = main([
+            "run", "--n", "64", "--trials", "4", "--adversary", "none",
+            "--seed", "5", "--obs-out", str(tmp_path / "o.jsonl"),
+        ])
+        second = capsys.readouterr().out
+        assert plain == observed == 0
+        assert first == second
+
+
+class TestObsCommand:
+    def _observation_file(self, tmp_path, capsys, seed="3"):
+        path = tmp_path / f"obs-{seed}.jsonl"
+        assert main([
+            "run", "--n", "64", "--trials", "4", "--adversary", "none",
+            "--seed", seed, "--obs-out", str(path),
+        ]) == 0
+        capsys.readouterr()
+        return str(path)
+
+    def test_summary_text(self, tmp_path, capsys):
+        path = self._observation_file(tmp_path, capsys)
+        assert main(["obs", "summary", path]) == 0
+        out = capsys.readouterr().out
+        assert "config_hash" in out
+        assert "phase engine:" in out
+        assert "engine.rounds" in out
+
+    def test_summary_json(self, tmp_path, capsys):
+        import json
+
+        path = self._observation_file(tmp_path, capsys)
+        assert main(["obs", "summary", path, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["manifest"]["n_trials"] == 4
+        assert "engine" in payload["phases"]
+
+    def test_export_normalizes_jsonl(self, tmp_path, capsys):
+        import json
+
+        path = self._observation_file(tmp_path, capsys)
+        assert main(["obs", "export", path]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        kinds = [json.loads(line)["type"] for line in lines]
+        assert kinds[0] == "manifest"
+        assert "counter" in kinds
+
+    def test_diff_same_file_exits_zero(self, tmp_path, capsys):
+        path = self._observation_file(tmp_path, capsys)
+        assert main(["obs", "diff", path, path]) == 0
+        assert "match" in capsys.readouterr().out
+
+    def test_diff_different_runs_exits_one(self, tmp_path, capsys):
+        path_a = self._observation_file(tmp_path, capsys, seed="3")
+        path_b = self._observation_file(tmp_path, capsys, seed="4")
+        assert main(["obs", "diff", path_a, path_b]) == 1
+        assert "seed_entropy" in capsys.readouterr().out
+
+    def test_missing_file_is_clean_error(self, capsys):
+        assert main(["obs", "summary", "/no/such/file.jsonl"]) == 2
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Stdlib link and anchor checker for the repo's markdown documentation.
+
+Walks every markdown link (``[text](target)``) in the given files and
+verifies that relative targets exist on disk and that ``#anchor``
+fragments name a real heading in the target document (GitHub-style
+slugs). External ``http(s)``/``mailto`` links are skipped — CI runs
+offline. Links inside fenced code blocks are ignored.
+
+Usage::
+
+    python tools/check_doc_links.py               # docs/*.md + README.md
+    python tools/check_doc_links.py FILE [FILE…]  # explicit file list
+
+Exit codes: 0 clean, 1 broken links (one line per problem on stderr),
+2 usage error. No dependencies beyond the standard library.
+"""
+
+import glob
+import os
+import re
+import sys
+from typing import Dict, List, Set, Tuple
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING = re.compile(r"^(#{1,6})\s+(.*)$")
+FENCE = re.compile(r"^(```|~~~)")
+
+
+def strip_code_blocks(text: str) -> str:
+    """Blank out fenced code blocks, preserving line numbers."""
+    out: List[str] = []
+    in_fence = False
+    for line in text.splitlines():
+        if FENCE.match(line.strip()):
+            in_fence = not in_fence
+            out.append("")
+        else:
+            out.append("" if in_fence else line)
+    return "\n".join(out)
+
+
+def github_slug(heading: str) -> str:
+    """The anchor GitHub generates for a heading."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)          # inline code
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: str, cache: Dict[str, Set[str]]) -> Set[str]:
+    if path not in cache:
+        slugs: Set[str] = set()
+        counts: Dict[str, int] = {}
+        with open(path, encoding="utf-8") as handle:
+            text = strip_code_blocks(handle.read())
+        for line in text.splitlines():
+            match = HEADING.match(line)
+            if not match:
+                continue
+            slug = github_slug(match.group(2))
+            n = counts.get(slug, 0)
+            counts[slug] = n + 1
+            slugs.add(slug if n == 0 else f"{slug}-{n}")
+        cache[path] = slugs
+    return cache[path]
+
+
+def check_file(path: str, cache: Dict[str, Set[str]]) -> List[str]:
+    problems: List[str] = []
+    with open(path, encoding="utf-8") as handle:
+        text = strip_code_blocks(handle.read())
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for target in LINK.findall(line):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            file_part, _, anchor = target.partition("#")
+            if file_part:
+                resolved = os.path.normpath(
+                    os.path.join(os.path.dirname(path), file_part)
+                )
+                if not os.path.exists(resolved):
+                    problems.append(
+                        f"{path}:{lineno}: broken link {target!r} "
+                        f"({resolved} does not exist)"
+                    )
+                    continue
+            else:
+                resolved = path
+            if anchor:
+                if not resolved.endswith((".md", ".markdown")):
+                    continue
+                if anchor not in anchors_of(resolved, cache):
+                    problems.append(
+                        f"{path}:{lineno}: broken anchor {target!r} "
+                        f"(no heading slug {anchor!r} in {resolved})"
+                    )
+    return problems
+
+
+def default_files() -> List[str]:
+    files = sorted(glob.glob(os.path.join(ROOT, "docs", "*.md")))
+    files.append(os.path.join(ROOT, "README.md"))
+    return files
+
+
+def main(argv: List[str]) -> int:
+    files = argv or default_files()
+    missing = [f for f in files if not os.path.isfile(f)]
+    if missing:
+        for f in missing:
+            print(f"no such file: {f}", file=sys.stderr)
+        return 2
+    cache: Dict[str, Set[str]] = {}
+    problems: List[str] = []
+    for path in files:
+        problems.extend(check_file(path, cache))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    checked: Tuple[int, int] = (len(files), len(problems))
+    print(f"checked {checked[0]} file(s): {checked[1]} problem(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
