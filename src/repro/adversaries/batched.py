@@ -82,6 +82,41 @@ class PerLaneAdversary(BatchedAdversary):
         return self._adversaries[lane].act(round_no, view)
 
 
+class MixedLaneAdversary(BatchedAdversary):
+    """Per-lane *optional* adversaries, for grid lanes.
+
+    Grid-packed batches (:func:`~repro.sim.runner.run_trial_grid`) may mix
+    lanes from experiment cells with different adversaries — including
+    cells with none at all. ``None`` lanes are inert: they emit no
+    actions and their pinned adversary stream is never touched, exactly
+    like a scalar run with ``adversary=None``.
+    """
+
+    def __init__(self, adversaries: Sequence[Optional[Adversary]]) -> None:
+        if not adversaries:
+            raise ValueError("MixedLaneAdversary needs at least one lane")
+        self._adversaries = list(adversaries)
+        named = [a for a in self._adversaries if a is not None]
+        self.name = named[0].name if named else "adversary"
+
+    def reset_lanes(
+        self,
+        instances: Sequence[Instance],
+        rngs: Sequence[np.random.Generator],
+    ) -> None:
+        for adversary, instance, rng in zip(self._adversaries, instances, rngs):
+            if adversary is not None:
+                adversary.reset(instance, rng)
+
+    def act(
+        self, lane: int, round_no: int, view: BillboardView
+    ) -> List[VoteAction]:
+        adversary = self._adversaries[lane]
+        if adversary is None:
+            return []
+        return adversary.act(round_no, view)
+
+
 class VectorSlotSplitVoteAdversary(SplitVoteAdversary):
     """Split-vote adversary with a vectorized vote-slot allocator.
 

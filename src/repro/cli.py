@@ -36,7 +36,12 @@ from repro.experiments import (
     generate_report,
     run_experiment,
 )
-from repro.experiments.config import resolve_n_jobs, set_default_n_jobs
+from repro.experiments.config import (
+    resolve_batch_lanes,
+    resolve_n_jobs,
+    set_default_batch_lanes,
+    set_default_n_jobs,
+)
 from repro.experiments.tables import Table
 from repro.sim.engine import EngineConfig
 from repro.sim.runner import TrialResults, run_trials
@@ -59,6 +64,19 @@ def _add_jobs_flag(command: argparse.ArgumentParser) -> None:
         help=(
             "Monte-Carlo worker processes (-1 = all cores; default: "
             "REPRO_BENCH_JOBS or serial). Never changes results."
+        ),
+    )
+
+
+def _add_lanes_flag(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--batch-lanes",
+        dest="batch_lanes",
+        type=int,
+        default=None,
+        help=(
+            "trials advanced in lockstep per engine batch (default: "
+            "REPRO_BATCH_LANES or scalar). Never changes results."
         ),
     )
 
@@ -94,6 +112,7 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--seed", type=int, default=0)
     exp.add_argument("--out", help="also write the table to this file")
     _add_jobs_flag(exp)
+    _add_lanes_flag(exp)
     _add_obs_flag(exp)
 
     run = sub.add_parser("run", help="one Monte-Carlo cell")
@@ -144,6 +163,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSONL checkpoint path (resume an interrupted sweep)",
     )
     _add_jobs_flag(run)
+    _add_lanes_flag(run)
     _add_obs_flag(run)
 
     bounds = sub.add_parser(
@@ -179,6 +199,7 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--seed", type=int, default=0)
     rep.add_argument("--out", help="write the report here (default stdout)")
     _add_jobs_flag(rep)
+    _add_lanes_flag(rep)
     _add_obs_flag(rep)
 
     g = sub.add_parser("gauntlet", help="every adversary vs one strategy")
@@ -191,6 +212,7 @@ def build_parser() -> argparse.ArgumentParser:
     g.add_argument("--trials", type=int, default=8)
     g.add_argument("--seed", type=int, default=0)
     _add_jobs_flag(g)
+    _add_lanes_flag(g)
     _add_obs_flag(g)
 
     o = sub.add_parser(
@@ -240,6 +262,8 @@ def cmd_list() -> int:
 def cmd_experiment(args: argparse.Namespace) -> int:
     if args.jobs is not None:
         set_default_n_jobs(args.jobs)
+    if args.batch_lanes is not None:
+        set_default_batch_lanes(args.batch_lanes)
     result = run_experiment(args.experiment_id, args.scale, args.seed)
     rendered = result.render()
     print(rendered)
@@ -286,6 +310,7 @@ def _measure_cell(args: argparse.Namespace, adversary_name: str) -> TrialResults
         seed=(args.seed, len(adversary_name)),
         config=EngineConfig(max_rounds=1_000_000),
         n_jobs=resolve_n_jobs(getattr(args, "jobs", None)),
+        batch_lanes=resolve_batch_lanes(getattr(args, "batch_lanes", None)),
         fault_plan=_fault_plan_from(args),
         timeout=getattr(args, "timeout", None),
         checkpoint_path=getattr(args, "checkpoint", None),
@@ -356,6 +381,8 @@ def cmd_show(args: argparse.Namespace) -> int:
 def cmd_report(args: argparse.Namespace) -> int:
     if args.jobs is not None:
         set_default_n_jobs(args.jobs)
+    if args.batch_lanes is not None:
+        set_default_batch_lanes(args.batch_lanes)
     report = generate_report(
         experiment_ids=args.ids, scale=args.scale, seed=args.seed
     )

@@ -7,7 +7,7 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.adversaries.base import Adversary
-from repro.experiments.config import resolve_n_jobs
+from repro.experiments.config import resolve_batch_lanes, resolve_n_jobs
 from repro.faults.plan import FaultPlan
 from repro.sim.engine import EngineConfig
 from repro.sim.runner import TrialResults, run_trials
@@ -32,17 +32,19 @@ def measure(
     max_rounds: int = 500_000,
     config: Optional[EngineConfig] = None,
     n_jobs: Optional[int] = None,
+    batch_lanes: Optional[int] = None,
     fault_plan: Optional[FaultPlan] = None,
     timeout: Optional[float] = None,
     checkpoint_path: Optional[str] = None,
 ) -> TrialResults:
     """``run_trials`` with the experiment-wide defaults.
 
-    ``n_jobs=None`` defers to the process-wide default (the CLI ``--jobs``
-    flag or the ``REPRO_BENCH_JOBS`` environment variable); results are
-    identical for every worker count. ``fault_plan``, ``timeout``, and
-    ``checkpoint_path`` pass straight through to
-    :func:`~repro.sim.runner.run_trials`.
+    ``n_jobs=None`` and ``batch_lanes=None`` defer to the process-wide
+    defaults (the CLI ``--jobs``/``--batch-lanes`` flags or the
+    ``REPRO_BENCH_JOBS``/``REPRO_BATCH_LANES`` environment variables);
+    results are identical for every worker count and lane width.
+    ``fault_plan``, ``timeout``, and ``checkpoint_path`` pass straight
+    through to :func:`~repro.sim.runner.run_trials`.
     """
     if config is None:
         config = EngineConfig(max_rounds=max_rounds)
@@ -54,6 +56,7 @@ def measure(
         seed=seed,
         config=config,
         n_jobs=resolve_n_jobs(n_jobs),
+        batch_lanes=resolve_batch_lanes(batch_lanes),
         fault_plan=fault_plan,
         timeout=timeout,
         checkpoint_path=checkpoint_path,

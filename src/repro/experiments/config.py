@@ -25,7 +25,12 @@ from repro.experiments.tables import Table
 #: environment variable supplying the default Monte-Carlo worker count
 JOBS_ENV_VAR = "REPRO_BENCH_JOBS"
 
+#: environment variable supplying the default trial-lane batch width
+LANES_ENV_VAR = "REPRO_BATCH_LANES"
+
 _default_n_jobs: Optional[int] = None
+
+_default_batch_lanes: Optional[int] = None
 
 
 def default_n_jobs() -> int:
@@ -56,6 +61,39 @@ def set_default_n_jobs(n_jobs: Optional[int]) -> None:
 def resolve_n_jobs(n_jobs: Optional[int]) -> int:
     """An explicit ``n_jobs`` wins; ``None`` falls back to the default."""
     return default_n_jobs() if n_jobs is None else n_jobs
+
+
+def default_batch_lanes() -> Optional[int]:
+    """The process-wide default ``batch_lanes`` for trial execution.
+
+    Resolution order: :func:`set_default_batch_lanes` override, then the
+    ``REPRO_BATCH_LANES`` environment variable, then ``None`` (the
+    runner's own default — scalar execution). Like ``n_jobs``, batching
+    never changes results (the equivalence suite pins this), so it is
+    process-wide state rather than a per-experiment parameter.
+    """
+    if _default_batch_lanes is not None:
+        return _default_batch_lanes
+    raw = os.environ.get(LANES_ENV_VAR, "").strip()
+    if not raw:
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"{LANES_ENV_VAR} must be an integer, got {raw!r}"
+        ) from None
+
+
+def set_default_batch_lanes(batch_lanes: Optional[int]) -> None:
+    """Override the process-wide lane default (``None`` restores env)."""
+    global _default_batch_lanes
+    _default_batch_lanes = batch_lanes
+
+
+def resolve_batch_lanes(batch_lanes: Optional[int]) -> Optional[int]:
+    """An explicit ``batch_lanes`` wins; ``None`` falls back to the default."""
+    return default_batch_lanes() if batch_lanes is None else batch_lanes
 
 
 class Scale(enum.Enum):

@@ -24,7 +24,8 @@ faulty run is bit-identical across serial/parallel execution and with
 tracing on or off.
 """
 
+from repro.faults.batched import BatchedFaultInjector
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 
-__all__ = ["FaultInjector", "FaultPlan"]
+__all__ = ["BatchedFaultInjector", "FaultInjector", "FaultPlan"]

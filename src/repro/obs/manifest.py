@@ -33,7 +33,8 @@ from dataclasses import asdict, dataclass, field, fields, is_dataclass
 from typing import Any, Dict, Mapping, Optional, Tuple
 
 #: bump when a field is added/renamed/removed; readers check it
-SCHEMA_VERSION = 1
+#: (2: added ``batch_fallback_reason``)
+SCHEMA_VERSION = 2
 
 
 def _canonical_json(payload: Any) -> str:
@@ -140,6 +141,11 @@ class RunManifest:
     fault_plan_digest:
         SHA-256 of the :class:`~repro.faults.plan.FaultPlan`, or
         ``None`` for clean runs.
+    batch_fallback_reason:
+        Why a ``batch_lanes`` request degraded to the scalar engine
+        (the :func:`~repro.sim.batch_engine.batch_fallback_reason`
+        string), or ``None`` when the run batched as asked — including
+        every run that never asked for batching.
     versions:
         ``{"python": ..., "numpy": ..., "repro": ...}``.
     host:
@@ -154,6 +160,7 @@ class RunManifest:
     seed_entropy: Optional[str] = None
     n_trials: Optional[int] = None
     fault_plan_digest: Optional[str] = None
+    batch_fallback_reason: Optional[str] = None
     versions: Dict[str, str] = field(default_factory=dict)
     host: Dict[str, Any] = field(default_factory=dict)
     git_rev: Optional[str] = None
@@ -203,6 +210,7 @@ def collect_manifest(
     config: Optional[Any] = None,
     fault_plan: Optional[Any] = None,
     config_payload: Optional[Any] = None,
+    batch_fallback_reason: Optional[str] = None,
 ) -> RunManifest:
     """Build a :class:`RunManifest` for the current process.
 
@@ -211,6 +219,8 @@ def collect_manifest(
     ``config_payload`` overrides it with an arbitrary JSON-able payload
     (the bench-artifact path). ``seed`` accepts anything
     :func:`repro.rng.make_seed_sequence` does; ``None`` records no seed.
+    ``batch_fallback_reason`` is the runner's audit of a degraded
+    ``batch_lanes`` request (``None``: no degradation happened).
     """
     from repro.rng import make_seed_sequence
 
@@ -228,6 +238,7 @@ def collect_manifest(
         seed_entropy=seed_entropy,
         n_trials=n_trials,
         fault_plan_digest=fault_plan_digest(fault_plan),
+        batch_fallback_reason=batch_fallback_reason,
         versions=dict(versions),
         host=dict(host),
         git_rev=git_rev,

@@ -23,7 +23,7 @@ from repro.sim.async_engine import (
 )
 from repro.sim.engine import EngineConfig, SynchronousEngine
 from repro.sim.metrics import RunMetrics
-from repro.sim.runner import TrialResults, run_trials
+from repro.sim.runner import GridCell, TrialResults, run_trial_grid, run_trials
 from repro.sim.schedules import (
     RandomSchedule,
     RoundRobinSchedule,
@@ -40,6 +40,7 @@ __all__ = [
     "AsynchronousEngine",
     "BatchedEngine",
     "EngineConfig",
+    "GridCell",
     "batch_fallback_reason",
     "PerStepAdapter",
     "RandomSchedule",
@@ -55,5 +56,6 @@ __all__ = [
     "replay_metrics",
     "TrialResults",
     "VoteAction",
+    "run_trial_grid",
     "run_trials",
 ]

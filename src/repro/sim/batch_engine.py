@@ -24,10 +24,17 @@ produced here are **identical** — field for field, array for array — to
 running each lane through the scalar engine. Batching is a wall-clock
 optimization only; it is never allowed to be a semantics change.
 
-The engine deliberately does not support fault injection or structured
-tracing (both are deeply per-trial); :func:`batch_fallback_reason`
-reports such configurations so the runner can degrade to the scalar
-engine with a warning.
+Fault injection is batch-native: a
+:class:`~repro.faults.batched.BatchedFaultInjector` carries one scalar
+injector per lane (each on its pinned spare stream) and applies lossy
+and delayed posts, churn restarts, and observation noise with the same
+``(K, n)`` scatter discipline as the rest of the engine — in the scalar
+engine's exact per-round order, so faulted lanes stay bit-identical to
+faulted scalar runs. Lanes may carry *different* fault plans, which is
+what lets the runner pack whole sweep grids into one batch. The only
+remaining unsupported configuration is structured tracing (deeply
+per-trial); :func:`batch_fallback_reason` reports it so the runner can
+degrade to the scalar engine with a warning.
 """
 
 from __future__ import annotations
@@ -45,6 +52,7 @@ from repro.errors import (
     ConfigurationError,
     SimulationError,
 )
+from repro.faults.plan import FaultPlan
 from repro.sim.engine import EngineConfig
 from repro.sim.metrics import RunMetrics
 from repro.strategies.base import StrategyContext
@@ -54,20 +62,22 @@ from repro.world.valuemodel import TrueValueModel, ValueModel
 
 if TYPE_CHECKING:  # imported lazily to avoid a package-level cycle
     from repro.adversaries.batched import BatchedAdversary
+    from repro.faults.batched import BatchedFaultInjector
     from repro.obs.registry import Registry
 
 
 def batch_fallback_reason(
-    config: Optional[EngineConfig], fault_plan: Optional[object]
+    config: Optional[EngineConfig], fault_plan: Optional[FaultPlan]
 ) -> Optional[str]:
     """Why a configuration cannot run on the batched engine (or ``None``).
 
-    The runner consults this before grouping trials into lanes;
-    unsupported configurations degrade to the scalar engine (same
-    results, no batching win).
+    The runner consults this before grouping trials into lanes; the one
+    remaining unsupported configuration — structured tracing — degrades
+    to the scalar engine (same results, no batching win). Fault plans
+    batch natively (``fault_plan`` is accepted for signature stability
+    and the day a plan grows a per-trial-only knob).
     """
-    if fault_plan is not None:
-        return "fault injection is per-trial"
+    del fault_plan  # every plan batches; see BatchedFaultInjector
     if config is not None and config.trace:
         return "structured traces are per-trial"
     return None
@@ -95,6 +105,12 @@ class BatchedEngine:
         Per-lane generator streams (the pinned per-trial streams).
     ctxs:
         Optional per-lane :class:`StrategyContext` overrides.
+    faults:
+        Optional :class:`~repro.faults.batched.BatchedFaultInjector`
+        carrying one scalar injector per lane (each on its own pinned
+        fault stream). ``None`` — the default — leaves every code path
+        byte-identical to the fault-free engine; lanes whose injector
+        slot is ``None`` run fault-free inside a faulted batch.
     obs:
         Optional :class:`~repro.obs.registry.Registry` the run increments
         ``batch.*`` event counters into. Counters only (no clock reads in
@@ -111,6 +127,7 @@ class BatchedEngine:
         adversary_rngs: Optional[Sequence[np.random.Generator]] = None,
         config: Optional[EngineConfig] = None,
         ctxs: Optional[Sequence[Optional[StrategyContext]]] = None,
+        faults: Optional["BatchedFaultInjector"] = None,
         obs: Optional["Registry"] = None,
     ) -> None:
         if not instances:
@@ -170,6 +187,12 @@ class BatchedEngine:
         self._dishonest_mask = np.stack(
             [~inst.honest_mask for inst in self.instances]
         )
+        if faults is not None and faults.n_lanes != self.n_lanes:
+            raise ConfigurationError(
+                f"fault injector carries {faults.n_lanes} lanes for a "
+                f"{self.n_lanes}-lane engine"
+            )
+        self.faults = faults
         self.obs = obs
 
     @staticmethod
@@ -198,6 +221,14 @@ class BatchedEngine:
         alive = np.ones(K, dtype=bool)
         rounds_out = np.zeros(K, dtype=np.int64)
 
+        faults = self.faults
+        value_models = self.value_models
+        #: round at which each crashed player restarts (-1: not down)
+        down_until = np.full((K, n), -1, dtype=np.int64)
+        if faults is not None:
+            faults.reset()
+            value_models = faults.wrap_value_models(value_models)
+
         self.strategy.reset_lanes(self.ctxs, self.rngs)
         if self.adversary is not None:
             self.adversary.reset_lanes(self.instances, self.adversary_rngs)
@@ -215,12 +246,22 @@ class BatchedEngine:
         while round_no < self.config.max_rounds:
             if not alive.any():
                 break
+            if faults is not None:
+                # Round-start fault effects land before the stop checks,
+                # like the scalar engine: due posts are delivered at a
+                # lane's final round, and restarts can revive a lane
+                # whose every player is down.
+                faults.round_start(
+                    round_no, alive, active, down_until, self.boards,
+                    self.strategy,
+                )
             # Stop checks, in the scalar engine's order: all-halted
-            # first, then the strategy's own termination rule.
+            # (with nobody pending a restart) first, then the strategy's
+            # own termination rule.
             lanes: List[int] = []
             for k in np.flatnonzero(alive):
                 k = int(k)
-                if not active[k].any():
+                if not active[k].any() and not (down_until[k] >= 0).any():
                     alive[k] = False
                     rounds_out[k] = round_no
                 elif self.strategy.finished(k, round_no):
@@ -234,20 +275,35 @@ class BatchedEngine:
                 count_rounds()
                 count_lane_rounds(len(lanes))
 
-            actives = [np.flatnonzero(active[k]) for k in lanes]
+            if faults is not None:
+                # crashes land before probing: a player crashing in
+                # round r does not probe in round r
+                faults.apply_crashes(
+                    round_no, lanes, active, halted_round, down_until
+                )
+                # lanes with every player down idle this round: no
+                # strategy calls, but the adversary still acts and the
+                # round still counts (the scalar engine's idle path)
+                probe_lanes = [k for k in lanes if active[k].any()]
+            else:
+                probe_lanes = lanes
+
+            actives = [np.flatnonzero(active[k]) for k in probe_lanes]
             views = [
                 BillboardView(self.boards.lane(k), before_round=round_no)
-                for k in lanes
+                for k in probe_lanes
             ]
             raw_choices = self.strategy.choose_probes_batch(
-                round_no, lanes, actives, views
+                round_no, probe_lanes, actives, views
             )
 
             probing_lanes: List[int] = []
             probers_per_lane: List[np.ndarray] = []
             targets_per_lane: List[np.ndarray] = []
             values_per_lane: List[np.ndarray] = []
-            for k, active_ids, choices in zip(lanes, actives, raw_choices):
+            for k, active_ids, choices in zip(
+                probe_lanes, actives, raw_choices
+            ):
                 choices = np.asarray(choices, dtype=np.int64)
                 if choices.shape != active_ids.shape:
                     raise SimulationError(
@@ -266,7 +322,7 @@ class BatchedEngine:
                     probers_per_lane.append(probers)
                     targets_per_lane.append(targets)
                     values_per_lane.append(
-                        self.value_models[k].observe_many(probers, targets)
+                        value_models[k].observe_many(probers, targets)
                     )
 
             if probing_lanes:
@@ -308,24 +364,55 @@ class BatchedEngine:
                     halt_mask = np.asarray(halt_mask, dtype=bool)
                     board = self.boards.lane(k)
                     if vote_mask.any():
-                        board.post_block(
-                            round_no,
-                            probers[vote_mask],
-                            targets[vote_mask],
-                            values[vote_mask],
-                            PostKind.VOTE,
-                        )
+                        v_players = probers[vote_mask]
+                        v_objects = targets[vote_mask]
+                        v_values = values[vote_mask]
+                        if faults is not None:
+                            v_players, v_objects, v_values = (
+                                faults.filter_block(
+                                    k,
+                                    round_no,
+                                    v_players,
+                                    v_objects,
+                                    v_values,
+                                    PostKind.VOTE,
+                                )
+                            )
+                        if v_players.size:
+                            board.post_block(
+                                round_no,
+                                v_players,
+                                v_objects,
+                                v_values,
+                                PostKind.VOTE,
+                            )
                     if record_reports and (~vote_mask).any():
-                        board.post_block(
-                            round_no,
-                            probers[~vote_mask],
-                            targets[~vote_mask],
-                            values[~vote_mask],
-                            PostKind.REPORT,
-                        )
+                        r_players = probers[~vote_mask]
+                        r_objects = targets[~vote_mask]
+                        r_values = values[~vote_mask]
+                        if faults is not None:
+                            r_players, r_objects, r_values = (
+                                faults.filter_block(
+                                    k,
+                                    round_no,
+                                    r_players,
+                                    r_objects,
+                                    r_values,
+                                    PostKind.REPORT,
+                                )
+                            )
+                        if r_players.size:
+                            board.post_block(
+                                round_no,
+                                r_players,
+                                r_objects,
+                                r_values,
+                                PostKind.REPORT,
+                            )
                     halters = probers[halt_mask]
                     active[k, halters] = False
                     halted_round[k, halters] = round_no
+                    down_until[k, halters] = -1
 
             if self.adversary is not None:
                 for k in lanes:
@@ -339,6 +426,10 @@ class BatchedEngine:
                     f"(strategy={self.strategy.name!r})"
                 )
             rounds_out[alive] = round_no
+
+        if obs is not None and faults is not None:
+            for key, value in faults.info_total().items():
+                obs.counter(f"faults.{key}").add(int(value))
 
         return [
             self._lane_metrics(
@@ -393,6 +484,8 @@ class BatchedEngine:
             rounds=int(rounds_out[k]),
             all_honest_satisfied=bool(sat_honest.all()),
             strategy_info=self.strategy.info(k),
-            fault_info={},
+            fault_info=(
+                self.faults.info(k) if self.faults is not None else {}
+            ),
             trace=None,
         )

@@ -34,7 +34,14 @@ The runner is additionally hardened for long sweeps (see
 * ``fault_plan=`` — a :class:`~repro.faults.plan.FaultPlan` applied to
   every trial's engine via the pinned fourth per-trial rng stream
   (reserved as a spare since the parallel-runner change), so enabling
-  faults never shifts the world/honest/adversary streams.
+  faults never shifts the world/honest/adversary streams. Faults run on
+  the batched engine too (one injector per lane), so ``batch_lanes``
+  and ``fault_plan`` compose without a fallback.
+
+Finally, :func:`run_trial_grid` packs trials from *different* experiment
+cells sharing ``(n, m)`` — varying alpha/beta/strategy/adversary/fault
+plan per lane — into shared engine batches, so a sweep whose cells are
+individually too small to fill ``batch_lanes`` still runs full lanes.
 """
 
 from __future__ import annotations
@@ -473,30 +480,39 @@ def _execute_trial_batch(
     Per lane, the stream spawn order is *exactly* :func:`_execute_trial`'s
     pinned contract — world, honest coins, adversary coins, faults — from
     that trial's own pre-derived seed sequence, so each lane's randomness
-    is bit-identical to a scalar run of the same trial. The wall-clock
+    is bit-identical to a scalar run of the same trial. A non-null
+    ``fault_plan`` gets one scalar :class:`FaultInjector` per lane on
+    that lane's pinned fourth stream, batched behind a
+    :class:`~repro.faults.batched.BatchedFaultInjector`. The wall-clock
     deadline scales with the group: ``timeout`` is a per-trial budget and
     a batch advances ``len(group)`` trials.
     """
     from repro.adversaries.batched import batched_adversary_for
+    from repro.faults.batched import BatchedFaultInjector
     from repro.strategies.batched import batched_strategy_for
 
-    if fault_plan is not None and not fault_plan.is_null():
-        raise ConfigurationError(
-            "batched execution does not support fault plans; "
-            "run_trials degrades such configurations to the scalar engine"
-        )
+    wants_faults = fault_plan is not None and not fault_plan.is_null()
     budget = timeout * len(group) if timeout is not None else None
     with _trial_deadline(budget):
         instances: List[Instance] = []
         honest_rngs: List[np.random.Generator] = []
         adversary_rngs: List[np.random.Generator] = []
+        injectors: List[Optional[FaultInjector]] = []
         for _index, seed_sequence in group:
             trial_factory = RngFactory(seed_sequence)
             world_rng = trial_factory.spawn_generator()
             honest_rngs.append(trial_factory.spawn_generator())
             adversary_rngs.append(trial_factory.spawn_generator())
-            trial_factory.spawn_generator()  # the pinned fault/spare stream
+            fault_rng = trial_factory.spawn_generator()  # the pinned fault/spare stream
+            injectors.append(
+                FaultInjector(fault_plan, fault_rng)
+                if wants_faults and fault_plan is not None
+                else None
+            )
             instances.append(make_instance(world_rng))
+        faults = (
+            BatchedFaultInjector(injectors) if wants_faults else None
+        )
         strategy = batched_strategy_for(make_strategy, len(group))
         adversary = batched_adversary_for(make_adversary, len(group))
         ctxs = [
@@ -511,6 +527,7 @@ def _execute_trial_batch(
             adversary_rngs=adversary_rngs,
             config=config,
             ctxs=ctxs,
+            faults=faults,
             obs=obs,
         )
         metrics = engine.run()
@@ -528,6 +545,260 @@ def _execute_trial_batch(
         )
         for (index, _seed), lane_metrics in zip(group, metrics)
     ]
+
+
+# ----------------------------------------------------------------------
+# Grid lanes: one batch, many experiment cells
+# ----------------------------------------------------------------------
+@dataclass
+class GridCell:
+    """One experiment cell of a :func:`run_trial_grid` sweep.
+
+    A cell is exactly the per-cell argument set of :func:`run_trials` —
+    its own factories, trial count, seed, and fault plan — minus the
+    execution knobs, which the grid shares. Per-trial seed streams are
+    derived from ``seed`` precisely as a standalone ``run_trials`` call
+    would derive them, which is what makes grid-packed results
+    bit-identical to running each cell on its own.
+    """
+
+    make_instance: InstanceFactory
+    make_strategy: StrategyFactory
+    make_adversary: AdversaryFactory = lambda: None
+    n_trials: int = 32
+    seed: SeedLike = 0
+    make_context: Optional[ContextFactory] = None
+    fault_plan: Optional[FaultPlan] = None
+    #: optional display name (sweeps label cells "loss=0.25" and such)
+    label: Optional[str] = None
+
+
+def _execute_grid_group(
+    group: Sequence[Tuple[int, int, np.random.SeedSequence]],
+    cells: Sequence[GridCell],
+    config: Optional[EngineConfig],
+    keep_metrics: bool,
+    timeout: Optional[float],
+    obs: Optional[Registry],
+) -> List[_TrialRecord]:
+    """Run one mixed-cell lane group through a single :class:`BatchedEngine`.
+
+    ``group`` holds ``(cell index, trial index, seed sequence)`` units.
+    Each lane spawns its four pinned streams from its own trial's seed
+    sequence and builds its state from its *own cell's* factories, so a
+    lane is bit-identical to the same trial run by that cell's standalone
+    ``run_trials``. When every lane comes from factories of the same cell
+    the native batched strategy/adversary implementations are used;
+    mixed-cell groups run per-lane scalar instances (always correct — the
+    equivalence contract does not depend on which adapter serves a lane).
+    """
+    from repro.adversaries.batched import (
+        MixedLaneAdversary,
+        batched_adversary_for,
+    )
+    from repro.faults.batched import BatchedFaultInjector
+    from repro.strategies.batched import PerLaneStrategy, batched_strategy_for
+
+    budget = timeout * len(group) if timeout is not None else None
+    with _trial_deadline(budget):
+        lane_cells = [cells[c_idx] for c_idx, _t_idx, _seed in group]
+        instances: List[Instance] = []
+        honest_rngs: List[np.random.Generator] = []
+        adversary_rngs: List[np.random.Generator] = []
+        injectors: List[Optional[FaultInjector]] = []
+        for cell, (_c_idx, _t_idx, seed_sequence) in zip(lane_cells, group):
+            trial_factory = RngFactory(seed_sequence)
+            world_rng = trial_factory.spawn_generator()
+            honest_rngs.append(trial_factory.spawn_generator())
+            adversary_rngs.append(trial_factory.spawn_generator())
+            fault_rng = trial_factory.spawn_generator()
+            plan = cell.fault_plan
+            injectors.append(
+                FaultInjector(plan, fault_rng)
+                if plan is not None and not plan.is_null()
+                else None
+            )
+            instances.append(cell.make_instance(world_rng))
+        faults = (
+            BatchedFaultInjector(injectors)
+            if any(injector is not None for injector in injectors)
+            else None
+        )
+
+        strategy_makers = [cell.make_strategy for cell in lane_cells]
+        if all(maker is strategy_makers[0] for maker in strategy_makers):
+            strategy = batched_strategy_for(strategy_makers[0], len(group))
+        else:
+            strategy = PerLaneStrategy([maker() for maker in strategy_makers])
+
+        adversary_makers = [cell.make_adversary for cell in lane_cells]
+        if all(maker is adversary_makers[0] for maker in adversary_makers):
+            adversary = batched_adversary_for(adversary_makers[0], len(group))
+        else:
+            per_lane = [maker() for maker in adversary_makers]
+            adversary = (
+                MixedLaneAdversary(per_lane)
+                if any(a is not None for a in per_lane)
+                else None
+            )
+
+        ctxs = [
+            cell.make_context(instance)
+            if cell.make_context is not None
+            else None
+            for cell, instance in zip(lane_cells, instances)
+        ]
+        engine = BatchedEngine(
+            instances,
+            strategy,
+            adversary=adversary,
+            rngs=honest_rngs,
+            adversary_rngs=adversary_rngs,
+            config=config,
+            ctxs=ctxs,
+            faults=faults,
+            obs=obs,
+        )
+        metrics = engine.run()
+    if obs is not None:
+        obs.counter("trial.completed").add(len(group))
+        obs.counter("trial.batched").add(len(group))
+    return [
+        (
+            lane_metrics.summary(),
+            lane_metrics.strategy_info,
+            lane_metrics if keep_metrics else None,
+        )
+        for lane_metrics in metrics
+    ]
+
+
+def run_trial_grid(
+    cells: Sequence[GridCell],
+    config: Optional[EngineConfig] = None,
+    batch_lanes: Optional[int] = None,
+    keep_metrics: bool = False,
+    timeout: Optional[float] = None,
+    obs: Optional[Registry] = None,
+) -> List[TrialResults]:
+    """Run a grid of experiment cells with cross-cell lane packing.
+
+    Flattens every cell's trials into one work list (cell order, then
+    trial order), chunks it into ``batch_lanes``-sized groups — groups
+    may *mix cells*, which is the point: sweep cells whose ``n_trials``
+    is small no longer waste lane capacity — and runs each group through
+    one :class:`~repro.sim.batch_engine.BatchedEngine`. Lanes carry
+    their cell's own alpha/beta (via the instance), strategy, adversary,
+    and fault plan; all cells must share ``(n, m)`` (the engine enforces
+    this) and the grid shares one ``config``.
+
+    Returns one :class:`TrialResults` per cell, in cell order, each
+    bit-identical — ``per_trial`` arrays, kept metrics, ``fault_info``,
+    everything — to a standalone ``run_trials`` call with that cell's
+    arguments (enforced by the equivalence suite). Per-cell manifests
+    are attached as usual; ``registry.manifest`` is left alone because a
+    grid has no single sweep identity.
+
+    ``batch_lanes=None``/``1`` — or a configuration the batched engine
+    cannot run (structured traces) — degrades to one scalar
+    ``run_trials`` call per cell, same results, with the usual fallback
+    audit trail.
+    """
+    if not cells:
+        raise ConfigurationError("run_trial_grid needs at least one cell")
+    for cell in cells:
+        if cell.n_trials < 1:
+            raise ConfigurationError(
+                f"n_trials must be a positive integer, got {cell.n_trials} "
+                f"(cell {cell.label or cells.index(cell)!r})"
+            )
+    try:
+        lanes = 1 if batch_lanes is None else int(batch_lanes)
+    except (TypeError, ValueError):
+        lanes = 0
+    if lanes < 1:
+        raise ConfigurationError(
+            f"batch_lanes must be a positive integer, got {batch_lanes!r}"
+        )
+    if lanes <= 1 or batch_fallback_reason(config, None) is not None:
+        # Per-cell delegation: run_trials owns the fallback warning, the
+        # batch.fallback counter, and the manifest reason in this path.
+        return [
+            run_trials(
+                cell.make_instance,
+                cell.make_strategy,
+                cell.make_adversary,
+                n_trials=cell.n_trials,
+                seed=cell.seed,
+                config=config,
+                make_context=cell.make_context,
+                keep_metrics=keep_metrics,
+                batch_lanes=batch_lanes,
+                fault_plan=cell.fault_plan,
+                timeout=timeout,
+                obs=obs,
+            )
+            for cell in cells
+        ]
+
+    registry = obs if obs is not None else active_registry()
+    if registry is not None:
+        registry.counter("runner.grid_runs").add()
+        registry.counter("runner.grid_cells").add(len(cells))
+
+    units: List[Tuple[int, int, np.random.SeedSequence]] = []
+    for c_idx, cell in enumerate(cells):
+        root = RngFactory.from_seed(cell.seed)
+        for t_idx, factory in enumerate(root.trial_factories(cell.n_trials)):
+            units.append((c_idx, t_idx, factory.seed_sequence))
+
+    done: Dict[Tuple[int, int], _TrialRecord] = {}
+    span = (
+        registry.timer("runner.run_trial_grid").time()
+        if registry is not None
+        else nullcontext()
+    )
+    with span:
+        for start in range(0, len(units), lanes):
+            group = units[start : start + lanes]
+            try:
+                records = _execute_grid_group(
+                    group, cells, config, keep_metrics, timeout, registry
+                )
+            except TrialTimeoutError as exc:
+                labels = ", ".join(
+                    f"cell {c}/trial {t}" for c, t, _seed in group
+                )
+                raise TrialTimeoutError(f"{labels}: {exc}") from None
+            for (c_idx, t_idx, _seed), record in zip(group, records):
+                done[(c_idx, t_idx)] = record
+            if registry is not None:
+                registry.counter("runner.grid_groups").add()
+
+    out: List[TrialResults] = []
+    for c_idx, cell in enumerate(cells):
+        records = [done[(c_idx, t_idx)] for t_idx in range(cell.n_trials)]
+        rows = [record[0] for record in records]
+        infos = [record[1] for record in records]
+        kept = [record[2] for record in records if record[2] is not None]
+        per_trial = {
+            key: np.array([row[key] for row in rows], dtype=np.float64)
+            for key in rows[0].keys()
+        }
+        out.append(
+            TrialResults(
+                per_trial=per_trial,
+                metrics=kept,
+                strategy_infos=infos,
+                manifest=collect_manifest(
+                    seed=cell.seed,
+                    n_trials=cell.n_trials,
+                    config=config,
+                    fault_plan=cell.fault_plan,
+                ),
+            )
+        )
+    return out
 
 
 # ----------------------------------------------------------------------
@@ -693,9 +964,13 @@ def run_trials(
         (each worker runs whole batches), checkpointing, and ``timeout``
         (the deadline scales with the group size), and per-trial results
         are **identical** to the scalar engine's for every supported
-        configuration — enforced by the equivalence suite. Unsupported
-        configurations (fault plans, traces) degrade to the scalar
-        engine with a one-time warning.
+        configuration — enforced by the equivalence suite. Fault plans
+        batch natively (one scalar injector per lane on its pinned
+        fourth stream); the one remaining unsupported configuration —
+        structured traces — degrades to the scalar engine with a
+        one-time warning quoting the reason, a ``batch.fallback``
+        counter increment, and the reason recorded on the sweep's
+        :class:`~repro.obs.manifest.RunManifest`.
     fault_plan:
         Optional :class:`~repro.faults.plan.FaultPlan` injected into every
         trial's engine. ``None`` — or a plan with every rate zero — is
@@ -752,19 +1027,15 @@ def run_trials(
         raise ConfigurationError(
             f"batch_lanes must be a positive integer, got {batch_lanes!r}"
         )
+    fallback_reason: Optional[str] = None
     if lanes > 1:
-        effective_plan = (
-            fault_plan
-            if fault_plan is not None and not fault_plan.is_null()
-            else None
-        )
-        reason = batch_fallback_reason(config, effective_plan)
-        if reason is not None:
+        fallback_reason = batch_fallback_reason(config, fault_plan)
+        if fallback_reason is not None:
             if not _BATCH_FALLBACK_WARNED:
                 warnings.warn(
                     f"batch_lanes={lanes} is not supported for this "
-                    f"configuration ({reason}); falling back to the scalar "
-                    "engine (results are identical, only slower)",
+                    f"configuration ({fallback_reason!r}); falling back to "
+                    "the scalar engine (results are identical, only slower)",
                     RuntimeWarning,
                     stacklevel=2,
                 )
@@ -784,12 +1055,18 @@ def run_trials(
 
     registry = obs if obs is not None else active_registry()
     manifest = collect_manifest(
-        seed=seed, n_trials=n_trials, config=config, fault_plan=fault_plan
+        seed=seed,
+        n_trials=n_trials,
+        config=config,
+        fault_plan=fault_plan,
+        batch_fallback_reason=fallback_reason,
     )
     if registry is not None:
         registry.manifest = manifest
         registry.counter("runner.runs").add()
         registry.counter("runner.trials_requested").add(n_trials)
+        if fallback_reason is not None:
+            registry.counter("batch.fallback").add()
         if done:
             registry.counter("runner.trials_resumed").add(len(done))
 

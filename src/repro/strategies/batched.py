@@ -73,6 +73,14 @@ class BatchedStrategy:
         """Per-lane ``(vote_mask, halt_mask)`` for the probing players."""
         raise NotImplementedError
 
+    def on_player_restart(
+        self, lane: int, round_no: int, players: np.ndarray
+    ) -> None:
+        """Fault-injection hook: ``players`` of lane ``lane`` rejoined
+        after a crash (no local memory). Default: ignore, matching the
+        scalar :meth:`~repro.strategies.base.Strategy.on_player_restart`
+        — board-driven protocols re-derive everything they need."""
+
     def info(self, lane: int) -> Dict[str, Any]:
         """Per-lane diagnostics for :class:`~repro.sim.metrics.RunMetrics`."""
         return {}
@@ -130,6 +138,11 @@ class PerLaneStrategy(BatchedStrategy):
             self._strategies[k].handle_results(round_no, p, o, v)
             for k, p, o, v in zip(lanes, players, objects, values)
         ]
+
+    def on_player_restart(
+        self, lane: int, round_no: int, players: np.ndarray
+    ) -> None:
+        self._strategies[lane].on_player_restart(round_no, players)
 
     def info(self, lane: int) -> Dict[str, Any]:
         return self._strategies[lane].info()

@@ -1,0 +1,190 @@
+"""Unit tests for the lane-vectorized fault injector.
+
+The engine-level faulted equivalence grid lives in
+``tests/sim/test_batch_equivalence.py``; this module pins the building
+blocks underneath it: the array-native post filter consumes the *exact*
+stream the tuple-based scalar filter does, per-lane injector construction
+treats ``None``/null plans as fault-free lanes, and the lane bookkeeping
+(restarts, crashes, per-lane summaries) matches its scalar counterpart.
+"""
+
+import numpy as np
+import pytest
+
+from repro.billboard.post import PostKind
+from repro.errors import ConfigurationError
+from repro.faults.batched import BatchedFaultInjector
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+
+
+def _rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+def _block(rng, size):
+    players = rng.integers(0, 16, size=size)
+    objects = rng.integers(0, 16, size=size)
+    values = rng.random(size)
+    return players, objects, values
+
+
+class TestFilterPostArrays:
+    """The array filter is the tuple filter with different plumbing: same
+    draws, same fates, same queue contents, same counters."""
+
+    @pytest.mark.parametrize(
+        "plan",
+        [
+            FaultPlan(post_loss_rate=0.3),
+            FaultPlan(post_delay_rate=0.5, max_post_delay=3),
+            FaultPlan(post_loss_rate=0.25, post_delay_rate=0.25,
+                      max_post_delay=2),
+        ],
+    )
+    def test_matches_filter_posts_stream_for_stream(self, plan):
+        world = _rng(7)
+        scalar = FaultInjector(plan, _rng(42))
+        arrayed = FaultInjector(plan, _rng(42))
+        scalar.reset()
+        arrayed.reset()
+        for round_no in range(12):
+            players, objects, values = _block(world, int(world.integers(0, 9)))
+            entries = [
+                (int(p), int(o), float(v), PostKind.VOTE)
+                for p, o, v in zip(players, objects, values)
+            ]
+            delivered, _dropped, _delayed = scalar.filter_posts(
+                round_no, entries
+            )
+            dp, do, dv = arrayed.filter_post_arrays(
+                round_no, players, objects, values, PostKind.VOTE
+            )
+            assert [
+                (int(p), int(o), float(v), PostKind.VOTE)
+                for p, o, v in zip(dp, do, dv)
+            ] == delivered
+            # the delayed-post queues must release identically too
+            assert arrayed.due_posts(round_no + 1) == scalar.due_posts(
+                round_no + 1
+            )
+        assert arrayed.counts == scalar.counts
+        assert arrayed.pending_posts == scalar.pending_posts
+
+    def test_empty_block_draws_nothing(self):
+        plan = FaultPlan(post_loss_rate=0.5)
+        injector = FaultInjector(plan, _rng(3))
+        injector.reset()
+        before = injector.rng.bit_generator.state
+        out = injector.filter_post_arrays(
+            0,
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.float64),
+            PostKind.VOTE,
+        )
+        assert all(arr.size == 0 for arr in out)
+        assert injector.rng.bit_generator.state == before
+
+    def test_lossless_plan_draws_nothing(self):
+        plan = FaultPlan(crash_rate=0.5)  # no post faults
+        injector = FaultInjector(plan, _rng(3))
+        injector.reset()
+        before = injector.rng.bit_generator.state
+        players, objects, values = _block(_rng(1), 5)
+        dp, do, dv = injector.filter_post_arrays(
+            0, players, objects, values, PostKind.REPORT
+        )
+        assert np.array_equal(dp, players)
+        assert injector.rng.bit_generator.state == before
+
+
+class TestFromPlans:
+    """Per-lane construction: ``None`` and null plans mean a fault-free
+    lane whose spare stream is never consumed."""
+
+    def test_null_and_none_plans_make_no_injector(self):
+        plans = [FaultPlan(post_loss_rate=0.1), None, FaultPlan()]
+        faults = BatchedFaultInjector.from_plans(
+            plans, [_rng(i) for i in range(3)]
+        )
+        assert faults.n_lanes == 3
+        assert faults.lane(0) is not None
+        assert faults.lane(1) is None
+        assert faults.lane(2) is None
+        assert faults.info(1) == {}
+        assert faults.info(2) == {}
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError, match="fault streams"):
+            BatchedFaultInjector.from_plans([None], [_rng(0), _rng(1)])
+
+    def test_empty_lanes_rejected(self):
+        with pytest.raises(ConfigurationError, match="at least one lane"):
+            BatchedFaultInjector([])
+
+
+class TestLaneBookkeeping:
+    def test_apply_crashes_matches_scalar_coins(self):
+        plan = FaultPlan(crash_rate=0.4, restart_after=2)
+        faults = BatchedFaultInjector(
+            [FaultInjector(plan, _rng(s)) for s in (10, 11)]
+        )
+        faults.reset()
+        scalar = [FaultInjector(plan, _rng(s)) for s in (10, 11)]
+        for injector in scalar:
+            injector.reset()
+        active = np.ones((2, 8), dtype=bool)
+        halted = np.full((2, 8), -1, dtype=np.int64)
+        down = np.full((2, 8), -1, dtype=np.int64)
+        faults.apply_crashes(3, [0, 1], active, halted, down)
+        for k, injector in enumerate(scalar):
+            crashed = injector.crash_coins(3, np.arange(8))
+            assert np.array_equal(np.flatnonzero(~active[k]), crashed)
+            assert (down[k][crashed] == 5).all()
+            assert (halted[k][crashed] == -1).all()
+
+    def test_permanent_crashes_halt(self):
+        plan = FaultPlan(crash_rate=1.0)  # no restart_after
+        faults = BatchedFaultInjector([FaultInjector(plan, _rng(0))])
+        faults.reset()
+        active = np.ones((1, 4), dtype=bool)
+        halted = np.full((1, 4), -1, dtype=np.int64)
+        down = np.full((1, 4), -1, dtype=np.int64)
+        faults.apply_crashes(2, [0], active, halted, down)
+        assert not active.any()
+        assert (halted == 2).all()
+        assert (down == -1).all()
+
+    def test_info_total_sums_lanes(self):
+        plan = FaultPlan(crash_rate=1.0)
+        faults = BatchedFaultInjector(
+            [FaultInjector(plan, _rng(0)), None, FaultInjector(plan, _rng(1))]
+        )
+        faults.reset()
+        active = np.ones((3, 4), dtype=bool)
+        halted = np.full((3, 4), -1, dtype=np.int64)
+        down = np.full((3, 4), -1, dtype=np.int64)
+        faults.apply_crashes(0, [0, 1, 2], active, halted, down)
+        total = faults.info_total()
+        assert total["crashes"] == 8
+        assert faults.info(0)["crashes"] == 4
+        assert faults.info(1) == {}
+
+    def test_lane_count_validation_in_engine(self):
+        from repro.sim.batch_engine import BatchedEngine
+        from repro.world.generators import planted_instance
+
+        rng = _rng(5)
+        instances = [
+            planted_instance(n=8, m=8, beta=0.25, alpha=0.75, rng=rng)
+            for _ in range(2)
+        ]
+        faults = BatchedFaultInjector([None])
+        with pytest.raises(ConfigurationError, match="lanes"):
+            BatchedEngine(instances, strategy=None, faults=faults)
+
+    def test_wrap_value_models_length_checked(self):
+        faults = BatchedFaultInjector([None, None])
+        with pytest.raises(ConfigurationError, match="value models"):
+            faults.wrap_value_models([])

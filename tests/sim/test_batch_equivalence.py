@@ -6,7 +6,9 @@ promises that for every supported configuration the per-trial
 :class:`~repro.sim.engine.SynchronousEngine` — same probes, same rounds,
 same satisfied/halted arrays, same diagnostics. This module is that
 promise's enforcement: a pinned grid over vote modes × adversaries ×
-strategies, a seed-randomized property test, and the unsupported-config
+strategies, a faulted grid over fault plans (faults batch natively —
+loss, delay, churn, noise, combined), grid-lane packing vs per-cell
+runs, a seed-randomized property test, and the unsupported-config
 fallback contract. CI fails if this module is skipped or collects zero
 tests, so the contract cannot silently rot.
 """
@@ -26,8 +28,9 @@ from repro.baselines.trivial import TrivialStrategy
 from repro.billboard.votes import VoteMode
 from repro.core.distill import DistillStrategy
 from repro.errors import ConfigurationError
+from repro.faults.plan import FaultPlan
 from repro.sim.engine import EngineConfig
-from repro.sim.runner import run_trials
+from repro.sim.runner import GridCell, run_trial_grid, run_trials
 from repro.world.generators import planted_instance
 
 
@@ -59,6 +62,31 @@ GRID = [
     for sname in STRATEGIES
     for aname in ADVERSARIES
     for vname in VOTE_MODES
+]
+
+#: one plan per fault mechanism, plus the all-at-once composition
+FAULT_PLANS = {
+    "loss": FaultPlan(post_loss_rate=0.3),
+    "delay": FaultPlan(post_delay_rate=0.5, max_post_delay=3),
+    "churn": FaultPlan(crash_rate=0.05, restart_after=2),
+    "churn-permanent": FaultPlan(crash_rate=0.02),
+    "noise": FaultPlan(observation_noise_rate=0.5, observation_noise=0.05),
+    "combined": FaultPlan(
+        post_loss_rate=0.15,
+        post_delay_rate=0.15,
+        max_post_delay=2,
+        crash_rate=0.03,
+        restart_after=3,
+        observation_noise_rate=0.2,
+        observation_noise=0.05,
+    ),
+}
+
+FAULT_GRID = [
+    (pname, sname, aname)
+    for pname in FAULT_PLANS
+    for sname in STRATEGIES
+    for aname in ("silent", "split-vote")
 ]
 
 
@@ -101,6 +129,7 @@ def assert_results_identical(scalar, batched):
         assert a.rounds == b.rounds, i
         assert a.all_honest_satisfied == b.all_honest_satisfied, i
         assert a.strategy_info == b.strategy_info, i
+        assert a.fault_info == b.fault_info, i
     assert scalar.strategy_infos == batched.strategy_infos
 
 
@@ -152,6 +181,314 @@ class TestGoldenPins:
             [2.4166666666666665, 3.75, 5.333333333333333,
              4.416666666666667, 2.4166666666666665, 2.9166666666666665]
         )
+
+
+class TestFaultedGoldenGrid:
+    """Fault plans batch natively: every fault mechanism × strategy ×
+    adversary cell, faulted-batched vs faulted-scalar, including the
+    per-trial ``fault_info`` realization — and with no fallback warning,
+    which is the tentpole's whole point."""
+
+    @pytest.mark.parametrize("pname,sname,aname", FAULT_GRID)
+    def test_faulted_batched_matches_scalar(self, pname, sname, aname):
+        plan = FAULT_PLANS[pname]
+        config = _config("single")
+        scalar = _run(
+            STRATEGIES[sname], ADVERSARIES[aname], config, fault_plan=plan
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            batched = _run(
+                STRATEGIES[sname], ADVERSARIES[aname], config,
+                fault_plan=plan, batch_lanes=4,
+            )
+        assert_results_identical(scalar, batched)
+        assert any(m.fault_info for m in batched.metrics), (
+            "faulted run produced no fault_info — the injector never ran"
+        )
+
+    def test_faulted_lane_count_does_not_matter(self):
+        config = _config("single")
+        plan = FAULT_PLANS["combined"]
+        runs = [
+            _run(DistillStrategy, SplitVoteAdversary, config,
+                 fault_plan=plan, batch_lanes=k)
+            for k in (None, 2, 3, 6, 8)
+        ]
+        for other in runs[1:]:
+            assert_results_identical(runs[0], other)
+
+    def test_faulted_vote_modes(self):
+        plan = FAULT_PLANS["combined"]
+        for vname in VOTE_MODES:
+            config = _config(vname)
+            scalar = _run(
+                DistillStrategy, SplitVoteAdversary, config, fault_plan=plan
+            )
+            batched = _run(
+                DistillStrategy, SplitVoteAdversary, config, fault_plan=plan,
+                batch_lanes=4,
+            )
+            assert_results_identical(scalar, batched)
+
+
+class TestFaultedGoldenPins:
+    """Absolute pinned values for faulted batched runs, so the batched and
+    scalar fault streams stay frozen together."""
+
+    def test_combined_distill_split_vote(self):
+        res = _run(
+            DistillStrategy, SplitVoteAdversary, _config("single"),
+            fault_plan=FAULT_PLANS["combined"], batch_lanes=3,
+        )
+        assert res.per_trial["rounds"].tolist() == [
+            10.0, 8.0, 5.0, 4.0, 5.0, 7.0,
+        ]
+        assert res.metrics[0].fault_info == {
+            "dropped_posts": 2,
+            "delayed_posts": 1,
+            "crashes": 1,
+            "restarts": 1,
+            "undelivered_posts": 0,
+        }
+        assert res.metrics[3].fault_info == {
+            "dropped_posts": 2,
+            "delayed_posts": 2,
+            "crashes": 0,
+            "restarts": 0,
+            "undelivered_posts": 0,
+        }
+
+    def test_churn_trivial_silent(self):
+        res = _run(
+            TrivialStrategy, SilentAdversary, _config("single"),
+            fault_plan=FAULT_PLANS["churn"], batch_lanes=3,
+        )
+        assert res.per_trial["rounds"].tolist() == [
+            5.0, 19.0, 26.0, 13.0, 6.0, 5.0,
+        ]
+        assert res.metrics[0].fault_info == {
+            "dropped_posts": 0,
+            "delayed_posts": 0,
+            "crashes": 1,
+            "restarts": 1,
+            "undelivered_posts": 0,
+        }
+
+
+class TestFaultPlansBatchNatively:
+    """The tentpole contract: ``fault_plan`` is no longer a fallback
+    reason, and a no-op plan is just as batchable as no plan."""
+
+    def test_fault_plan_no_longer_falls_back(self):
+        plan = FaultPlan(post_loss_rate=0.2, crash_rate=0.05,
+                         restart_after=2)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            _run(DistillStrategy, SilentAdversary, _config("single"),
+                 fault_plan=plan, batch_lanes=4)
+
+    def test_null_plan_is_batchable_and_inert(self):
+        config = _config("single")
+        clean = _run(DistillStrategy, SplitVoteAdversary, config,
+                     batch_lanes=4)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            null = _run(DistillStrategy, SplitVoteAdversary, config,
+                        fault_plan=FaultPlan(), batch_lanes=4)
+        assert_results_identical(clean, null)
+        assert all(m.fault_info == {} for m in null.metrics)
+
+    def test_fallback_reason_ignores_fault_plans(self):
+        from repro.sim.batch_engine import batch_fallback_reason
+
+        plan = FAULT_PLANS["combined"]
+        assert batch_fallback_reason(None, plan) is None
+        assert batch_fallback_reason(_config("single"), plan) is None
+        assert batch_fallback_reason(
+            EngineConfig(trace=True), plan
+        ) == "structured traces are per-trial"
+
+
+class TestFallbackAudit:
+    """A degraded batch request leaves a three-part audit trail: the
+    warning quotes the reason, the ``batch.fallback`` counter increments,
+    and the manifest records the reason string."""
+
+    def test_trace_fallback_is_audited(self):
+        from repro.obs.registry import Registry, observe
+
+        config = EngineConfig(max_rounds=50_000, trace=True)
+        with observe(Registry()) as registry:
+            with pytest.warns(
+                RuntimeWarning, match="'structured traces are per-trial'"
+            ):
+                res = _run(DistillStrategy, SilentAdversary, config,
+                           batch_lanes=4, n_trials=2)
+        assert registry.counters().get("batch.fallback") == 1
+        assert res.manifest is not None
+        assert res.manifest.batch_fallback_reason == (
+            "structured traces are per-trial"
+        )
+
+    def test_clean_batched_run_records_no_fallback(self):
+        from repro.obs.registry import Registry, observe
+
+        with observe(Registry()) as registry:
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                res = _run(DistillStrategy, SilentAdversary,
+                           _config("single"), batch_lanes=4, n_trials=2)
+        assert "batch.fallback" not in registry.counters()
+        assert res.manifest is not None
+        assert res.manifest.batch_fallback_reason is None
+
+    def test_scalar_run_records_no_fallback(self):
+        res = _run(DistillStrategy, SilentAdversary, _config("single"),
+                   n_trials=2)
+        assert res.manifest is not None
+        assert res.manifest.batch_fallback_reason is None
+
+
+class TestGridLanes:
+    """Grid packing: lanes from *different* experiment cells — different
+    alpha/beta/strategy/adversary/fault plan — share one engine batch,
+    and every cell's results stay bit-identical to a standalone
+    ``run_trials`` of that cell."""
+
+    @staticmethod
+    def _cell_factory(alpha, beta):
+        return lambda rng: planted_instance(
+            n=16, m=16, beta=beta, alpha=alpha, rng=rng
+        )
+
+    def _mixed_cells(self):
+        return [
+            GridCell(
+                make_instance=self._cell_factory(0.75, 0.25),
+                make_strategy=DistillStrategy,
+                n_trials=5,
+                seed=7,
+                label="clean-distill",
+            ),
+            GridCell(
+                make_instance=self._cell_factory(0.5, 1 / 8),
+                make_strategy=TrivialStrategy,
+                make_adversary=SplitVoteAdversary,
+                n_trials=3,
+                seed=13,
+                fault_plan=FaultPlan(
+                    post_loss_rate=0.2, crash_rate=0.04, restart_after=2
+                ),
+                label="faulted-trivial",
+            ),
+            GridCell(
+                make_instance=self._cell_factory(0.6, 0.25),
+                make_strategy=DistillStrategy,
+                make_adversary=SplitVoteAdversary,
+                n_trials=4,
+                seed=99,
+                fault_plan=FaultPlan(post_delay_rate=0.3, max_post_delay=2),
+                label="delayed-distill",
+            ),
+        ]
+
+    def _reference(self, cell, config):
+        return run_trials(
+            cell.make_instance,
+            cell.make_strategy,
+            cell.make_adversary,
+            n_trials=cell.n_trials,
+            seed=cell.seed,
+            config=config,
+            keep_metrics=True,
+            fault_plan=cell.fault_plan,
+        )
+
+    def test_mixed_cells_match_per_cell_runs(self):
+        config = _config("single")
+        cells = self._mixed_cells()
+        # 12 trials into 4-lane groups: every group mixes cells.
+        grid = run_trial_grid(
+            cells, config=config, batch_lanes=4, keep_metrics=True
+        )
+        assert len(grid) == len(cells)
+        for cell, got in zip(cells, grid):
+            ref = self._reference(cell, config)
+            assert_results_identical(ref, got)
+            assert got.manifest is not None
+            assert got.manifest.seed_entropy == ref.manifest.seed_entropy
+            assert got.manifest.fault_plan_digest == (
+                ref.manifest.fault_plan_digest
+            )
+
+    def test_lane_width_does_not_matter(self):
+        config = _config("single")
+        cells = self._mixed_cells()
+        baseline = run_trial_grid(
+            cells, config=config, batch_lanes=2, keep_metrics=True
+        )
+        for lanes in (3, 5, 12):
+            other = run_trial_grid(
+                cells, config=config, batch_lanes=lanes, keep_metrics=True
+            )
+            for a, b in zip(baseline, other):
+                assert_results_identical(a, b)
+
+    def test_scalar_grid_delegates_per_cell(self):
+        config = _config("single")
+        cells = self._mixed_cells()
+        grid = run_trial_grid(
+            cells, config=config, batch_lanes=1, keep_metrics=True
+        )
+        for cell, got in zip(cells, grid):
+            assert_results_identical(self._reference(cell, config), got)
+
+    def test_seeded_property_grid(self):
+        """Randomized cells from a pinned metaseed: packing random mixes
+        of strategies, adversaries, and plans stays per-cell identical."""
+        meta = np.random.default_rng(1507)
+        strategies = list(STRATEGIES.values())
+        adversaries = [None, SplitVoteAdversary, RandomVotesAdversary]
+        plans = [None] + list(FAULT_PLANS.values())
+        config = _config("single")
+        cells = []
+        for i in range(4):
+            adv = adversaries[int(meta.integers(len(adversaries)))]
+            cells.append(
+                GridCell(
+                    make_instance=self._cell_factory(
+                        float(meta.uniform(0.4, 0.8)),
+                        float(meta.choice([1 / 8, 0.25])),
+                    ),
+                    make_strategy=strategies[
+                        int(meta.integers(len(strategies)))
+                    ],
+                    make_adversary=(lambda: None) if adv is None else adv,
+                    n_trials=int(meta.integers(2, 6)),
+                    seed=int(meta.integers(0, 2**31)),
+                    fault_plan=plans[int(meta.integers(len(plans)))],
+                    label=f"cell-{i}",
+                )
+            )
+        grid = run_trial_grid(
+            cells, config=config, batch_lanes=5, keep_metrics=True
+        )
+        for cell, got in zip(cells, grid):
+            assert_results_identical(self._reference(cell, config), got)
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ConfigurationError, match="at least one cell"):
+            run_trial_grid([], batch_lanes=4)
+
+    def test_bad_cell_trials_rejected(self):
+        cell = GridCell(
+            make_instance=self._cell_factory(0.75, 0.25),
+            make_strategy=DistillStrategy,
+            n_trials=0,
+        )
+        with pytest.raises(ConfigurationError, match="n_trials"):
+            run_trial_grid([cell], batch_lanes=4)
 
 
 class TestSeedProperty:
@@ -214,24 +551,9 @@ class TestAdapterLanes:
 
 
 class TestUnsupportedFallback:
-    """Unsupported configurations degrade to the scalar engine with one
-    warning per process — and the results must be identical anyway."""
-
-    def test_fault_plan_falls_back_with_identical_results(self):
-        from repro.faults import FaultPlan
-
-        plan = FaultPlan(post_loss_rate=0.2, crash_rate=0.05,
-                         restart_after=2)
-        config = _config("single")
-        scalar = _run(
-            DistillStrategy, SilentAdversary, config, fault_plan=plan
-        )
-        with pytest.warns(RuntimeWarning, match="falling back to the scalar"):
-            batched = _run(
-                DistillStrategy, SilentAdversary, config, fault_plan=plan,
-                batch_lanes=4,
-            )
-        assert_results_identical(scalar, batched)
+    """The one remaining unsupported configuration — structured traces —
+    degrades to the scalar engine with one warning per process, and the
+    results must be identical anyway."""
 
     def test_trace_falls_back_with_identical_results(self):
         config = EngineConfig(max_rounds=50_000, trace=True)
