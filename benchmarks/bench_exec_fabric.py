@@ -1,0 +1,248 @@
+"""Executor-fabric benchmark — backend overhead and chaos recovery.
+
+Two measurements, recorded into ``BENCH_exec.json`` at the repo root
+(copy under ``benchmarks/results/``):
+
+* ``backend_matrix`` — one representative E3 cell (DISTILL vs the
+  adaptive split-vote adversary) swept on every execution backend:
+  serial (the pinned reference), the forked local pool, and TCP socket
+  workers. Every backend's ``per_trial`` arrays are asserted
+  bit-identical to the serial run before any timing is reported, so
+  the table measures pure dispatch overhead, never drift.
+* ``chaos_recovery`` — the same cell on the socket backend with a
+  deterministic :class:`~repro.exec.chaos.ChaosPlan` killing workers
+  mid-sweep. Bit-identity is asserted again (the fabric's acceptance
+  criterion: killed workers lose nothing), and the realized recovery
+  trail — worker losses, lease reassignments, retries, ``exec.*``
+  counters — is recorded alongside the wall-clock cost of recovering.
+
+Run directly (``python benchmarks/bench_exec_fabric.py``) or through
+pytest; ``REPRO_BENCH_SCALE=smoke`` shrinks the cell for CI smoke jobs.
+
+Interpretation notes: the socket backend pays worker spawn + TCP framing
+per sweep, so on short sweeps its overhead dominates (the backend exists
+for fault tolerance and multi-host fan-out, not single-host speed); the
+local pool is bounded by physical cores exactly like ``n_jobs`` in
+``BENCH_runner.json`` (``host.cpu_count`` is recorded for this reason).
+The ``bit_identical: true`` lines are the acceptance property and hold
+on any host.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import sys
+import time
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.adversaries.split_vote import SplitVoteAdversary
+from repro.core.distill import DistillStrategy
+from repro.exec import ChaosPlan, RetryPolicy, SocketWorkerExecutor
+from repro.obs.registry import Registry
+from repro.sim.engine import EngineConfig
+from repro.sim.runner import run_trials
+from repro.world.generators import planted_instance
+
+try:  # pytest imports this as benchmarks.bench_exec_fabric
+    from benchmarks.artifacts import REPO_ROOT, write_bench_json
+except ImportError:  # `python benchmarks/bench_exec_fabric.py`
+    from artifacts import REPO_ROOT, write_bench_json
+
+OUTPUT_PATH = os.path.join(REPO_ROOT, "BENCH_exec.json")
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "full")
+SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "2"))
+WORKERS = int(os.environ.get("REPRO_EXEC_WORKERS", "2"))
+
+#: the deterministic kill schedule for the recovery measurement — the
+#: same plan shape the equivalence tests pin (at least one worker dies)
+CHAOS = ChaosPlan(kill_rate=0.5, max_events=2, seed=7)
+
+
+def _socket_executor(chaos: Optional[ChaosPlan] = None) -> SocketWorkerExecutor:
+    return SocketWorkerExecutor(
+        n_workers=WORKERS,
+        lease_timeout=5.0,
+        heartbeat_interval=0.25,
+        retry=RetryPolicy(max_retries=4, backoff_base=0.0),
+        chaos=chaos,
+    )
+
+
+def _cell(executor, obs=None, n_jobs=None):
+    if SCALE == "smoke":
+        n, trials, alpha = 64, 8, 0.5
+    else:
+        n, trials, alpha = 1024, 32, 0.2
+    beta = 1.0 / n
+    return run_trials(
+        make_instance=lambda rng: planted_instance(
+            n=n, m=n, beta=beta, alpha=alpha, rng=rng
+        ),
+        make_strategy=DistillStrategy,
+        make_adversary=SplitVoteAdversary,
+        n_trials=trials,
+        seed=SEED,
+        config=EngineConfig(max_rounds=500_000),
+        n_jobs=n_jobs,
+        executor=executor,
+        obs=obs,
+    ), trials
+
+
+def _assert_identical(reference, candidate, label: str) -> bool:
+    identical = set(reference.per_trial) == set(candidate.per_trial) and all(
+        np.array_equal(reference.per_trial[key], candidate.per_trial[key])
+        for key in reference.per_trial
+    )
+    assert identical, f"{label} diverged from the serial reference"
+    return identical
+
+
+def measure_backend_matrix() -> Dict[str, object]:
+    start = time.perf_counter()
+    reference, trials = _cell("serial")
+    serial_seconds = time.perf_counter() - start
+
+    points = [
+        {
+            "backend": "serial",
+            "seconds": serial_seconds,
+            "seconds_per_trial": serial_seconds / trials,
+            "speedup_vs_serial": 1.0,
+            "bit_identical": True,
+        }
+    ]
+    for backend, kwargs in (
+        ("local", {"n_jobs": JOBS}),
+        ("socket", {}),
+    ):
+        executor = _socket_executor() if backend == "socket" else backend
+        start = time.perf_counter()
+        result, _ = _cell(executor, **kwargs)
+        seconds = time.perf_counter() - start
+        points.append(
+            {
+                "backend": backend,
+                "seconds": seconds,
+                "seconds_per_trial": seconds / trials,
+                "speedup_vs_serial": serial_seconds / max(seconds, 1e-9),
+                "bit_identical": _assert_identical(reference, result, backend),
+            }
+        )
+
+    if SCALE == "smoke":
+        experiment = (
+            "E3-representative cell: distill vs split-vote, "
+            "n=m=64, beta=1/n, alpha=0.5"
+        )
+    else:
+        experiment = (
+            "E3-representative cell: distill vs split-vote, "
+            "n=m=1024, beta=1/n, alpha=0.2"
+        )
+    return {
+        "experiment": experiment,
+        "n_trials": trials,
+        "n_jobs": JOBS,
+        "n_workers": WORKERS,
+        "points": points,
+    }
+
+
+def measure_chaos_recovery() -> Dict[str, object]:
+    start = time.perf_counter()
+    reference, trials = _cell("serial")
+    serial_seconds = time.perf_counter() - start
+
+    registry = Registry()
+    start = time.perf_counter()
+    chaotic, _ = _cell(_socket_executor(chaos=CHAOS), obs=registry)
+    chaos_seconds = time.perf_counter() - start
+
+    bit_identical = _assert_identical(reference, chaotic, "chaos-killed socket")
+    report = chaotic.manifest.executor
+    counters = {
+        name: value
+        for name, value in sorted(registry.counters().items())
+        if name.startswith("exec.")
+    }
+    return {
+        "chaos_plan": {
+            "kill_rate": CHAOS.kill_rate,
+            "max_events": CHAOS.max_events,
+            "seed": CHAOS.seed,
+        },
+        "n_trials": trials,
+        "n_workers": WORKERS,
+        "serial_seconds": serial_seconds,
+        "chaos_seconds": chaos_seconds,
+        "recovery_overhead_vs_serial": chaos_seconds / max(serial_seconds, 1e-9),
+        "bit_identical": bit_identical,
+        "worker_losses": report["worker_losses"],
+        "reassignments": report["reassignments"],
+        "retries": report["retries"],
+        "exec_counters": counters,
+    }
+
+
+def main() -> Dict[str, object]:
+    data = {
+        "schema": "repro-bench-exec/1",
+        "generated_unix": time.time(),
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": sys.version.split()[0],
+            "numpy": np.__version__,
+        },
+        "config": {
+            "scale": SCALE,
+            "seed": SEED,
+            "jobs": JOBS,
+            "workers": WORKERS,
+        },
+        "backend_matrix": measure_backend_matrix(),
+        "chaos_recovery": measure_chaos_recovery(),
+    }
+    write_bench_json("BENCH_exec.json", data)
+
+    print(f"wrote {OUTPUT_PATH}")
+    print("backend_matrix:")
+    for point in data["backend_matrix"]["points"]:
+        print(
+            f"  {point['backend']:>6}: {point['seconds']:7.2f}s "
+            f"({point['seconds_per_trial'] * 1e3:8.1f} ms/trial, "
+            f"{point['speedup_vs_serial']:5.2f}x vs serial, "
+            f"bit_identical={point['bit_identical']})"
+        )
+    chaos = data["chaos_recovery"]
+    print(
+        f"chaos_recovery: {chaos['chaos_seconds']:.2f}s with "
+        f"{chaos['worker_losses']} worker(s) killed and "
+        f"{len(chaos['reassignments'])} reassignment(s) "
+        f"({chaos['recovery_overhead_vs_serial']:.2f}x vs "
+        f"{chaos['serial_seconds']:.2f}s serial, "
+        f"bit_identical={chaos['bit_identical']})"
+    )
+    return data
+
+
+def bench_exec_fabric(results_dir):
+    """Pytest entry: record the fabric point and sanity-check it."""
+    data = main()
+    assert os.path.exists(OUTPUT_PATH)
+    assert all(p["bit_identical"] for p in data["backend_matrix"]["points"])
+    chaos = data["chaos_recovery"]
+    assert chaos["bit_identical"]
+    # the recovery path must actually have been exercised
+    assert chaos["worker_losses"] >= 1
+    assert chaos["exec_counters"].get("exec.reassigned", 0) >= 1
+
+
+if __name__ == "__main__":
+    main()

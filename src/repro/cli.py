@@ -38,8 +38,10 @@ from repro.experiments import (
 )
 from repro.experiments.config import (
     resolve_batch_lanes,
+    resolve_executor,
     resolve_n_jobs,
     set_default_batch_lanes,
+    set_default_executor,
     set_default_n_jobs,
 )
 from repro.experiments.tables import Table
@@ -81,6 +83,21 @@ def _add_lanes_flag(command: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_executor_flag(command: argparse.ArgumentParser) -> None:
+    from repro.exec import EXECUTOR_NAMES
+
+    command.add_argument(
+        "--executor",
+        choices=list(EXECUTOR_NAMES),
+        default=None,
+        help=(
+            "execution backend for trial sweeps (default: REPRO_EXECUTOR "
+            "or the runner's choice: a local pool when --jobs asks for "
+            "one, serial otherwise). Never changes results."
+        ),
+    )
+
+
 def _add_obs_flag(command: argparse.ArgumentParser) -> None:
     command.add_argument(
         "--obs-out",
@@ -113,6 +130,7 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--out", help="also write the table to this file")
     _add_jobs_flag(exp)
     _add_lanes_flag(exp)
+    _add_executor_flag(exp)
     _add_obs_flag(exp)
 
     run = sub.add_parser("run", help="one Monte-Carlo cell")
@@ -164,6 +182,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_jobs_flag(run)
     _add_lanes_flag(run)
+    _add_executor_flag(run)
     _add_obs_flag(run)
 
     bounds = sub.add_parser(
@@ -200,6 +219,7 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--out", help="write the report here (default stdout)")
     _add_jobs_flag(rep)
     _add_lanes_flag(rep)
+    _add_executor_flag(rep)
     _add_obs_flag(rep)
 
     g = sub.add_parser("gauntlet", help="every adversary vs one strategy")
@@ -213,6 +233,7 @@ def build_parser() -> argparse.ArgumentParser:
     g.add_argument("--seed", type=int, default=0)
     _add_jobs_flag(g)
     _add_lanes_flag(g)
+    _add_executor_flag(g)
     _add_obs_flag(g)
 
     o = sub.add_parser(
@@ -264,6 +285,8 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         set_default_n_jobs(args.jobs)
     if args.batch_lanes is not None:
         set_default_batch_lanes(args.batch_lanes)
+    if args.executor is not None:
+        set_default_executor(args.executor)
     result = run_experiment(args.experiment_id, args.scale, args.seed)
     rendered = result.render()
     print(rendered)
@@ -311,6 +334,7 @@ def _measure_cell(args: argparse.Namespace, adversary_name: str) -> TrialResults
         config=EngineConfig(max_rounds=1_000_000),
         n_jobs=resolve_n_jobs(getattr(args, "jobs", None)),
         batch_lanes=resolve_batch_lanes(getattr(args, "batch_lanes", None)),
+        executor=resolve_executor(getattr(args, "executor", None)),
         fault_plan=_fault_plan_from(args),
         timeout=getattr(args, "timeout", None),
         checkpoint_path=getattr(args, "checkpoint", None),
@@ -383,6 +407,8 @@ def cmd_report(args: argparse.Namespace) -> int:
         set_default_n_jobs(args.jobs)
     if args.batch_lanes is not None:
         set_default_batch_lanes(args.batch_lanes)
+    if args.executor is not None:
+        set_default_executor(args.executor)
     report = generate_report(
         experiment_ids=args.ids, scale=args.scale, seed=args.seed
     )
@@ -451,12 +477,16 @@ def cmd_obs(args: argparse.Namespace) -> int:
             print(json.dumps({"type": "trace", **record}, sort_keys=True))
         return 0
     if args.obs_command == "diff":
-        from repro.obs.export import diff_observations
-
-        differences = diff_observations(
-            obs.load_observations(args.path_a),
-            obs.load_observations(args.path_b),
+        from repro.obs.export import (
+            diff_observations,
+            informational_differences,
         )
+
+        data_a = obs.load_observations(args.path_a)
+        data_b = obs.load_observations(args.path_b)
+        differences = diff_observations(data_a, data_b)
+        for line in informational_differences(data_a, data_b):
+            print(f"note: {line}")
         if not differences:
             print("observations match (manifest fields and counters)")
             return 0

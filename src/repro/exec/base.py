@@ -1,0 +1,222 @@
+"""The executor protocol: exact-seed chunk dispatch behind one interface.
+
+An :class:`Executor` owns *where* trials run; :func:`run_trials` owns
+*what* runs and keeps owning determinism. The contract that makes a
+backend correct:
+
+* the work list is ``(trial index, pre-derived SeedSequence)`` pairs —
+  seeds are derived by the runner, in trial order, before dispatch;
+* a backend may chunk, reorder, retry, or redispatch units freely,
+  because executing a unit is a pure function of its seed: any
+  execution of the same unit is bit-identical, so recovery is
+  idempotent and results are keyed by trial index with last-write-wins;
+* results return as ``{trial index: record}`` with every pending index
+  present, or the backend raises :class:`~repro.errors.ExecutorError`
+  carrying what it did finish.
+
+Each executor fills in an :class:`ExecutorReport` as it runs — backend
+name, worker roster, reassignment log, retry/loss tallies — which the
+runner stamps into the sweep's :class:`~repro.obs.manifest.RunManifest`
+(schema v3). Failure handling across backends is shared machinery:
+:class:`~repro.exec.retry.RetryPolicy` for budgets/backoff and
+:func:`execute_with_fallback` for the socket → local pool → serial
+degradation chain.
+"""
+
+from __future__ import annotations
+
+import math
+import warnings
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    ClassVar,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.errors import ExecutorError
+from repro.obs.registry import Registry
+
+#: ``(trial index, pre-derived seed sequence)`` — the dispatch unit
+#: (mirrors the runner's ``_IndexedSeed``; kept loose here so the exec
+#: package never imports the runner at module scope)
+IndexedSeed = Tuple[int, Any]
+
+#: ``{trial index: trial record}`` — a backend's return value
+ResultMap = Dict[int, Any]
+
+#: checkpoint hook: called with each completed chunk's ``(index,
+#: record)`` pairs, in completion order
+ChunkCallback = Callable[[List[Tuple[int, Any]]], None]
+
+
+@dataclass
+class ExecutorReport:
+    """What one run's execution layer did — the manifest's ``executor``.
+
+    Mutable on purpose: backends append to it as events happen, then
+    the runner freezes :meth:`to_dict` into the manifest. Everything in
+    here is *reporting*, never an input to any trial, so two runs that
+    degrade differently still produce identical results — only their
+    manifests tell the story apart (and ``repro obs diff`` reports the
+    ``executor`` field informationally, outside the identity verdict).
+    """
+
+    #: backend that ultimately ran trials ("serial", "local", "socket")
+    backend: str = ""
+    #: logical worker ids in spawn order ("w0", "w1", ... — replacements
+    #: keep counting up)
+    workers: List[str] = field(default_factory=list)
+    #: one entry per lease/crash reassignment:
+    #: ``{"trials": [...], "from": "w0", "to": "w2", "reason": ...}``
+    reassignments: List[Dict[str, Any]] = field(default_factory=list)
+    #: retry attempts spent (pool rebuilds, worker respawns)
+    retries: int = 0
+    #: workers lost to crashes or dropped connections
+    worker_losses: int = 0
+    #: backends abandoned on the way here, in order ("socket", ...)
+    degraded_from: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Stable plain-dict form for the manifest (JSON-safe)."""
+        return {
+            "backend": self.backend,
+            "workers": list(self.workers),
+            "reassignments": [dict(r) for r in self.reassignments],
+            "retries": self.retries,
+            "worker_losses": self.worker_losses,
+            "degraded_from": list(self.degraded_from),
+        }
+
+
+class Executor(ABC):
+    """One execution backend for exact-seed trial dispatch.
+
+    Implementations must be *reusable* (a fresh :meth:`run` per sweep,
+    with per-run state reset) and must treat ``state`` as opaque
+    runner configuration to pass through to the chunk runner.
+    """
+
+    #: short stable name ("serial", "local", "socket") — the CLI knob
+    #: value, the manifest ``backend`` field, and the registry label
+    name: ClassVar[str] = ""
+
+    def __init__(self) -> None:
+        self.report = ExecutorReport(backend=type(self).name)
+
+    @abstractmethod
+    def run(
+        self,
+        pending: Sequence[IndexedSeed],
+        state: Dict[str, Any],
+        *,
+        chunk_size: Optional[int] = None,
+        on_chunk_done: Optional[ChunkCallback] = None,
+    ) -> ResultMap:
+        """Execute every pending unit; return records keyed by index.
+
+        Must either complete all of ``pending`` or raise
+        :class:`~repro.errors.ExecutorError` with partial results
+        attached. ``on_chunk_done`` (the checkpoint hook) is called in
+        completion order with each chunk's pairs — including chunks
+        completed by a redispatch.
+        """
+
+    # ------------------------------------------------------------------
+    def _reset_report(self) -> None:
+        """Start a fresh report for a new sweep (same backend name)."""
+        self.report = ExecutorReport(backend=type(self).name)
+
+
+def build_chunks(
+    pending: Sequence[IndexedSeed],
+    workers: int,
+    chunk_size: Optional[int],
+    lanes: int,
+) -> List[List[IndexedSeed]]:
+    """Split the work list into dispatch chunks (shared by all backends).
+
+    The sizing rule is the pool's original heuristic — ~4 chunks per
+    worker, rounded up to whole lane groups so workers run full batches
+    — now in one place so every backend chunks identically and a chunk
+    lost on one backend maps onto the same trials on the next.
+    """
+    lanes = max(lanes, 1)
+    if chunk_size is None:
+        chunk_size = max(1, math.ceil(len(pending) / (max(workers, 1) * 4)))
+        if lanes > 1:
+            chunk_size = math.ceil(chunk_size / lanes) * lanes
+    return [
+        list(pending[start : start + chunk_size])
+        for start in range(0, len(pending), chunk_size)
+    ]
+
+
+def execute_with_fallback(
+    chain: Sequence[Executor],
+    pending: Sequence[IndexedSeed],
+    state: Dict[str, Any],
+    *,
+    chunk_size: Optional[int] = None,
+    on_chunk_done: Optional[ChunkCallback] = None,
+    obs: Optional[Registry] = None,
+) -> Tuple[ResultMap, Executor]:
+    """Run ``pending`` through a degradation chain of executors.
+
+    Backends are tried in order; when one raises
+    :class:`~repro.errors.ExecutorError` its partial results are kept,
+    the failure is warned and counted (``exec.degraded``), and only the
+    *remaining* trials move to the next backend — no completed trial is
+    ever re-run across a degradation step (within a backend, redispatch
+    of in-flight work is the backend's own, idempotent, business).
+
+    Returns the merged results and the executor that finished the job
+    (its report gains the abandoned backends' names in
+    ``degraded_from``). The last backend's failure propagates: a chain
+    ending in :class:`~repro.exec.serial.SerialExecutor` only fails on
+    a genuine trial error, which no backend is allowed to swallow.
+    """
+    if not chain:
+        raise ExecutorError("empty executor chain")
+    results: ResultMap = {}
+    degraded_from: List[str] = []
+    remaining = list(pending)
+    for position, executor in enumerate(chain):
+        last = position == len(chain) - 1
+        executor._reset_report()
+        executor.report.degraded_from = list(degraded_from)
+        try:
+            results.update(
+                executor.run(
+                    remaining,
+                    state,
+                    chunk_size=chunk_size,
+                    on_chunk_done=on_chunk_done,
+                )
+            )
+            return results, executor
+        except ExecutorError as exc:
+            results.update(exc.completed)
+            if last:
+                raise ExecutorError(str(exc), completed=results) from exc
+            remaining = [
+                unit for unit in remaining if unit[0] not in results
+            ]
+            successor = chain[position + 1]
+            warnings.warn(
+                f"executor '{type(executor).name}' failed ({exc}); "
+                f"degrading to {type(successor).name} execution for the "
+                f"remaining {len(remaining)} trial(s)",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            if obs is not None:
+                obs.counter("exec.degraded").add()
+            degraded_from.append(type(executor).name)
+    raise ExecutorError("executor chain exhausted")  # pragma: no cover

@@ -1,0 +1,168 @@
+"""Deterministic chaos injection for the executor fabric.
+
+The simulation layer tests its fault tolerance with :mod:`repro.faults`
+— deterministic injectors on a pinned rng stream. This module is the
+same idea one level down: it attacks the *execution fabric itself*, so
+the fabric's recovery machinery (leases, redispatch, respawn budgets)
+is exercised by tests rather than trusted.
+
+A :class:`ChaosPlan` is a frozen description of misbehaviour rates; a
+:class:`ChaosMonkey` turns the plan into concrete per-task decisions
+for one worker, drawn from a generator seeded by
+``(plan.seed, worker_index)`` tuple entropy. Determinism is the whole
+point: the chaos equivalence test asserts that a run under injected
+kills/stalls/partitions produces :class:`~repro.sim.metrics.RunMetrics`
+bit-identical to a serial run, and that assertion is only meaningful if
+the kills land in the same place every time.
+
+Decisions are drawn once per *task dispatch*, in dispatch order, so a
+worker's fate depends only on the plan seed, its worker index, and how
+many tasks it has been handed — never on timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.rng import make_generator, make_seed_sequence
+
+
+class ChaosAction(str, Enum):
+    """What a :class:`ChaosMonkey` tells a worker to do with one task."""
+
+    #: run the task normally
+    NONE = "none"
+    #: hard-exit the worker process mid-task (``os._exit``)
+    KILL = "kill"
+    #: sleep with heartbeats *suspended*, long enough to blow the lease
+    STALL = "stall"
+    #: close the dispatcher connection without exiting (a network split)
+    PARTITION = "partition"
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """Frozen description of how chaos-afflicted workers misbehave.
+
+    Attributes
+    ----------
+    kill_rate, stall_rate, partition_rate:
+        Per-task-dispatch probabilities of each misbehaviour; their sum
+        must not exceed 1. A single uniform draw per dispatch picks at
+        most one action, so rates compose without interaction.
+    stall_seconds:
+        How long a stalled worker sleeps with heartbeats suspended.
+        Point it past the fabric's lease timeout or the stall is a nap,
+        not a fault.
+    max_events:
+        Cap on how many workers misbehave at all: workers whose spawn
+        ordinal is ``>= max_events`` run chaos-free. This keeps a
+        chaos run *recoverable* — replacement workers spawned after the
+        budget is spent are reliable, so redispatched chunks complete.
+        ``None`` means every worker draws from the plan.
+    seed:
+        Root entropy for every monkey this plan mints.
+    """
+
+    kill_rate: float = 0.0
+    stall_rate: float = 0.0
+    partition_rate: float = 0.0
+    stall_seconds: float = 2.0
+    max_events: Optional[int] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("kill_rate", "stall_rate", "partition_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigurationError(
+                    f"{name} must be in [0, 1], got {rate}"
+                )
+        total = self.kill_rate + self.stall_rate + self.partition_rate
+        if total > 1.0:
+            raise ConfigurationError(
+                f"chaos rates must sum to at most 1, got {total}"
+            )
+        if self.stall_seconds < 0:
+            raise ConfigurationError(
+                f"stall_seconds must be >= 0, got {self.stall_seconds}"
+            )
+        if self.max_events is not None and self.max_events < 0:
+            raise ConfigurationError(
+                f"max_events must be >= 0 or None, got {self.max_events}"
+            )
+
+    def is_null(self) -> bool:
+        """Whether this plan can never produce a misbehaviour."""
+        return (
+            self.kill_rate == 0.0
+            and self.stall_rate == 0.0
+            and self.partition_rate == 0.0
+        ) or self.max_events == 0
+
+    def monkey_for(self, worker_index: int) -> "ChaosMonkey":
+        """The deterministic monkey riding worker ``worker_index``.
+
+        ``worker_index`` is the worker's *spawn ordinal* across the
+        whole run (replacements keep counting up), so a respawned
+        worker draws a fresh, still-deterministic stream rather than
+        replaying its predecessor's fate.
+        """
+        return ChaosMonkey(self, worker_index)
+
+
+class ChaosMonkey:
+    """Per-worker decision stream derived from a :class:`ChaosPlan`.
+
+    The stream is seeded with ``(plan.seed, worker_index)`` tuple
+    entropy — :class:`numpy.random.SeedSequence` composition, never seed
+    arithmetic — so monkeys for different workers are independent and
+    every monkey is replayable.
+    """
+
+    def __init__(self, plan: ChaosPlan, worker_index: int) -> None:
+        if worker_index < 0:
+            raise ConfigurationError(
+                f"worker_index must be >= 0, got {worker_index}"
+            )
+        self.plan = plan
+        self.worker_index = worker_index
+        self._rng = make_generator(
+            make_seed_sequence((plan.seed, worker_index))
+        )
+        self._muzzled = (
+            plan.max_events is not None and worker_index >= plan.max_events
+        )
+
+    def decide(self) -> ChaosAction:
+        """Draw the action for the next task dispatch.
+
+        A muzzled monkey (spawn ordinal past ``max_events``) still
+        *advances its rng* so the decision stream for a given worker
+        index never depends on the plan's cap — only whether the action
+        is acted on does.
+        """
+        draw = float(self._rng.random())
+        if self._muzzled:
+            return ChaosAction.NONE
+        plan = self.plan
+        if draw < plan.kill_rate:
+            return ChaosAction.KILL
+        if draw < plan.kill_rate + plan.stall_rate:
+            return ChaosAction.STALL
+        if draw < plan.kill_rate + plan.stall_rate + plan.partition_rate:
+            return ChaosAction.PARTITION
+        return ChaosAction.NONE
+
+    def preview(self, count: int) -> "list[ChaosAction]":
+        """The next ``count`` decisions of a *fresh copy* of this monkey.
+
+        Tests use this to find seeds with a wanted fate pattern (e.g.
+        "first dispatch clean, second dispatch kill") without consuming
+        this monkey's own stream.
+        """
+        twin = ChaosMonkey(self.plan, self.worker_index)
+        return [twin.decide() for _ in range(count)]

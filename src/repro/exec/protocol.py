@@ -1,0 +1,94 @@
+"""Length-prefixed frame protocol for the socket-worker fabric.
+
+One frame is a 4-byte big-endian payload length followed by a pickled
+``(kind, body)`` tuple.  Pickle keeps the protocol exact — seed
+sequences, summary rows, and :class:`~repro.sim.metrics.RunMetrics`
+records cross the wire bit-identically — at the price of trusting the
+peer: frames execute arbitrary code when unpickled.  The fabric is
+therefore **authenticated but not sandboxed**: the dispatcher generates
+a per-run secret token, every worker must present it in its ``hello``
+frame before anything else is unpickled, and the listener binds to
+loopback unless explicitly told otherwise.  Run workers only on hosts
+you would run the code on directly (the SSH use case).
+
+Frame kinds (dispatcher ⇄ worker):
+
+``hello``        worker → server: ``{"token": str, "pid": int}``
+``welcome``      server → worker: worker id, heartbeat interval, chaos
+                 assignment, optional pickled state for external workers
+``task``         server → worker: ``{"chunk_id": int, "chunk": [...]}``
+``result``       worker → server: chunk id, record pairs, obs snapshot
+``heartbeat``    worker → server: lease renewal, empty body
+``trial_error``  worker → server: a deterministic trial failure (e.g.
+                 :class:`~repro.errors.TrialTimeoutError`) to re-raise
+``bye``          server → worker: drain and exit
+``error``        either direction: human-readable refusal
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+from typing import Any, Tuple
+
+from repro.errors import ReproError
+
+#: frames larger than this are refused — a corrupt length prefix must
+#: not make the reader allocate gigabytes
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+class ProtocolError(ReproError):
+    """A malformed, truncated, or oversized fabric frame."""
+
+
+class ConnectionClosed(ProtocolError):
+    """The peer closed the connection (EOF mid-stream or between frames)."""
+
+
+def send_frame(sock: socket.socket, kind: str, body: Any = None) -> None:
+    """Serialize and send one ``(kind, body)`` frame."""
+    payload = pickle.dumps((kind, body), protocol=pickle.HIGHEST_PROTOCOL)
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"refusing to send a {len(payload)}-byte frame "
+            f"(cap {MAX_FRAME_BYTES}); chunk the work smaller"
+        )
+    sock.sendall(_LENGTH.pack(len(payload)) + payload)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    """Read exactly ``count`` bytes or raise :class:`ConnectionClosed`."""
+    chunks = []
+    remaining = count
+    while remaining > 0:
+        block = sock.recv(min(remaining, 1 << 20))
+        if not block:
+            raise ConnectionClosed(
+                f"connection closed with {remaining} of {count} bytes unread"
+            )
+        chunks.append(block)
+        remaining -= len(block)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> Tuple[str, Any]:
+    """Receive one frame; raises :class:`ConnectionClosed` on EOF."""
+    header = _recv_exact(sock, _LENGTH.size)
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"peer announced a {length}-byte frame (cap {MAX_FRAME_BYTES}); "
+            "corrupt stream or protocol mismatch"
+        )
+    payload = _recv_exact(sock, length)
+    try:
+        kind, body = pickle.loads(payload)
+    except Exception as exc:  # unpickling failures are protocol failures
+        raise ProtocolError(f"undecodable frame: {exc}") from None
+    if not isinstance(kind, str):
+        raise ProtocolError(f"frame kind must be a string, got {kind!r}")
+    return kind, body

@@ -1,0 +1,539 @@
+"""The socket-worker executor: lease-based dispatch over TCP.
+
+This is the fabric's distributed backend. The dispatcher (this class,
+running inside the sweep process) listens on a TCP port; workers —
+forked locally by the default launcher, or started externally with
+``python -m repro.exec.worker`` (e.g. over an SSH tunnel) — connect,
+authenticate with a per-run token, and pull chunks of pre-derived
+``(trial index, SeedSequence)`` units.
+
+Robustness model, in the spirit of the paper's premise that progress
+must survive Byzantine participants:
+
+* **leases** — every assignment carries a monotonic deadline, renewed
+  by worker heartbeats. A worker that stops heartbeating (stalled,
+  partitioned, wedged) loses its lease; the chunk is requeued and
+  *redispatched with the exact same seeds*, so the retried execution is
+  bit-identical and the late original — if it ever arrives — is merely
+  a duplicate, deduplicated by chunk id.
+* **crash detection** — a dropped connection (EOF) is a lost worker:
+  its chunk is requeued immediately and a replacement is spawned,
+  budgeted by the shared :class:`~repro.exec.retry.RetryPolicy`.
+* **bounded failure** — when every worker is gone and the respawn
+  budget is spent, the executor raises
+  :class:`~repro.errors.ExecutorError` carrying everything it did
+  finish, and the degradation chain (socket → local pool → serial)
+  takes over the remainder.
+* **determinism** — none of this machinery touches a random stream.
+  Which worker ran which chunk can vary run to run; the *results*
+  cannot, because a trial is a pure function of its pre-derived seed.
+
+Every recovery event is counted (``exec.worker_lost``,
+``exec.reassigned``, ``exec.retries``) and logged in the
+:class:`~repro.exec.base.ExecutorReport` that lands in the run's
+manifest, so a sweep that survived chaos says so in its provenance.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import queue
+import socket
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ConfigurationError, ExecutorError
+from repro.exec.base import (
+    ChunkCallback,
+    Executor,
+    IndexedSeed,
+    ResultMap,
+    build_chunks,
+)
+from repro.exec.chaos import ChaosPlan
+from repro.exec.protocol import ProtocolError, recv_frame, send_frame
+from repro.exec.retry import RetryPolicy
+
+#: a launcher starts one worker aimed at (host, port, token); it returns
+#: a process-like handle (``terminate``/``join``) or ``None``
+Launcher = Callable[[str, int, str, int], Any]
+
+
+def fork_launcher(host: str, port: int, token: str, ordinal: int) -> Any:
+    """The default launcher: fork a worker from the sweep process.
+
+    Forked workers inherit ``repro.sim.runner._WORKER_STATE`` by memory
+    snapshot (set by :meth:`SocketWorkerExecutor.run` before spawning),
+    so closures work and nothing but seeds crosses the wire — the same
+    trick the local pool uses.
+    """
+    from repro.exec.worker import run_worker
+
+    context = multiprocessing.get_context("fork")
+    process = context.Process(
+        target=run_worker,
+        kwargs=dict(host=host, port=port, token=token, inherit_state=True),
+        name=f"repro-exec-worker-{ordinal}",
+        daemon=True,
+    )
+    process.start()
+    return process
+
+
+class _WorkerConn:
+    """Dispatcher-side record of one connected worker."""
+
+    __slots__ = (
+        "sock",
+        "ordinal",
+        "worker_id",
+        "alive",
+        "send_lock",
+        "suspect",
+    )
+
+    def __init__(self, sock: socket.socket, ordinal: int) -> None:
+        self.sock = sock
+        self.ordinal = ordinal
+        self.worker_id = f"w{ordinal}"
+        self.alive = True
+        #: lease expired; holds no new work until it answers or dies
+        self.suspect = False
+        self.send_lock = threading.Lock()
+
+    def send(self, kind: str, body: Any = None) -> None:
+        with self.send_lock:
+            send_frame(self.sock, kind, body)
+
+
+class SocketWorkerExecutor(Executor):
+    """Distribute chunks to TCP workers with lease-based recovery.
+
+    Parameters
+    ----------
+    n_workers:
+        Workers the launcher starts for each run (ignored when
+        ``launcher=None`` — then external workers are awaited instead).
+    host, port:
+        Listen address. The default binds loopback on an ephemeral
+        port; bind a routable address and a fixed port to accept
+        external (SSH-launched) workers, and treat the network as
+        trusted — the protocol authenticates but does not encrypt.
+    lease_timeout:
+        Seconds a chunk assignment survives without a heartbeat before
+        it is revoked and redispatched.
+    heartbeat_interval:
+        How often workers renew their leases; must be well under
+        ``lease_timeout``.
+    retry:
+        :class:`~repro.exec.retry.RetryPolicy` budgeting replacement
+        workers (``max_retries`` respawns per run).
+    chaos:
+        Optional :class:`~repro.exec.chaos.ChaosPlan` shipped to every
+        worker, for testing the fabric's own fault tolerance.
+    launcher:
+        How to start workers: :func:`fork_launcher` (default), any
+        callable with its signature, or ``None`` to only accept
+        external workers.
+    connect_timeout:
+        Seconds to wait for the first worker before giving up.
+    """
+
+    name = "socket"
+
+    def __init__(
+        self,
+        n_workers: int = 2,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        lease_timeout: float = 10.0,
+        heartbeat_interval: float = 2.0,
+        retry: Optional[RetryPolicy] = None,
+        chaos: Optional[ChaosPlan] = None,
+        launcher: Optional[Launcher] = fork_launcher,
+        connect_timeout: float = 30.0,
+    ) -> None:
+        super().__init__()
+        if launcher is not None and n_workers < 1:
+            raise ConfigurationError(
+                f"n_workers must be >= 1, got {n_workers}"
+            )
+        if lease_timeout <= 0:
+            raise ConfigurationError(
+                f"lease_timeout must be > 0, got {lease_timeout}"
+            )
+        if heartbeat_interval <= 0 or heartbeat_interval >= lease_timeout:
+            raise ConfigurationError(
+                f"heartbeat_interval must be in (0, lease_timeout), got "
+                f"{heartbeat_interval} against lease_timeout={lease_timeout}"
+            )
+        self.n_workers = n_workers
+        self.host = host
+        self.port = port
+        self.lease_timeout = lease_timeout
+        self.heartbeat_interval = heartbeat_interval
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.chaos = chaos
+        self.launcher = launcher
+        self.connect_timeout = connect_timeout
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        pending: Sequence[IndexedSeed],
+        state: Dict[str, Any],
+        *,
+        chunk_size: Optional[int] = None,
+        on_chunk_done: Optional[ChunkCallback] = None,
+    ) -> ResultMap:
+        import repro.sim.runner as runner
+
+        run = _DispatchRun(self, state, on_chunk_done)
+        lanes = state.get("batch_lanes", 1) or 1
+        workers = self.n_workers if self.launcher is not None else 2
+        chunks = build_chunks(pending, workers, chunk_size, lanes)
+
+        # Park the state for forked workers (inherited at fork time),
+        # exactly like the local pool does.
+        previous = runner._WORKER_STATE
+        runner._WORKER_STATE = state
+        try:
+            return run.execute(chunks)
+        finally:
+            runner._WORKER_STATE = previous
+            run.shutdown()
+
+
+class _DispatchRun:
+    """One sweep's dispatch state: listener, roster, leases, results.
+
+    Separated from the executor so :class:`SocketWorkerExecutor` stays
+    reusable — every :meth:`~SocketWorkerExecutor.run` gets a fresh
+    listener, token, event queue, and roster.
+    """
+
+    def __init__(
+        self,
+        executor: SocketWorkerExecutor,
+        state: Dict[str, Any],
+        on_chunk_done: Optional[ChunkCallback],
+    ) -> None:
+        self.executor = executor
+        self.state = state
+        self.obs = state.get("obs")
+        self.on_chunk_done = on_chunk_done
+        #: per-run auth secret; also exported for external workers
+        self.token = os.urandom(16).hex()
+        self.events: "queue.Queue[Tuple[str, Any, Any]]" = queue.Queue()
+        self.spawned = 0
+        self.processes: List[Any] = []
+        self.conns: List[_WorkerConn] = []
+        self.listener: Optional[socket.socket] = None
+        self._accepting = False
+        #: workers launched but not yet welcomed (liveness accounting)
+        self.expecting = 0
+
+    # ------------------------------------------------------------------
+    # listener / roster
+    # ------------------------------------------------------------------
+    def start_listener(self) -> Tuple[str, int]:
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.executor.host, self.executor.port))
+        listener.listen(16)
+        self.listener = listener
+        self._accepting = True
+        threading.Thread(
+            target=self._accept_loop, name="repro-exec-accept", daemon=True
+        ).start()
+        return listener.getsockname()[:2]
+
+    def _accept_loop(self) -> None:
+        assert self.listener is not None
+        while self._accepting:
+            try:
+                sock, _addr = self.listener.accept()
+            except OSError:
+                return  # listener closed: run is over
+            threading.Thread(
+                target=self._handshake, args=(sock,), daemon=True
+            ).start()
+
+    def _handshake(self, sock: socket.socket) -> None:
+        try:
+            sock.settimeout(self.executor.connect_timeout)
+            kind, body = recv_frame(sock)
+            if kind != "hello" or body.get("token") != self.token:
+                send_frame(sock, "error", "bad token or handshake")
+                sock.close()
+                return
+            welcome: Dict[str, Any] = {
+                "heartbeat_interval": self.executor.heartbeat_interval,
+                "chaos": self.executor.chaos,
+            }
+            if not body.get("inherit", False):
+                try:
+                    pickle.dumps(self.state)
+                except Exception as exc:
+                    send_frame(
+                        sock,
+                        "error",
+                        "this sweep's factories are not picklable "
+                        f"({exc}); external workers need module-level "
+                        "factories — use the fork launcher instead",
+                    )
+                    sock.close()
+                    return
+                welcome["state"] = self.state
+            conn = _WorkerConn(sock, self._next_ordinal())
+            welcome["worker"] = conn.ordinal
+            send_frame(sock, "welcome", welcome)
+            sock.settimeout(None)
+        except (ProtocolError, OSError):
+            sock.close()
+            return
+        self.conns.append(conn)
+        self.events.put(("ready", conn, None))
+        threading.Thread(
+            target=self._reader_loop,
+            args=(conn,),
+            name=f"repro-exec-reader-{conn.worker_id}",
+            daemon=True,
+        ).start()
+
+    _ordinal_lock = threading.Lock()
+
+    def _next_ordinal(self) -> int:
+        with self._ordinal_lock:
+            ordinal = self.spawned
+            self.spawned += 1
+        return ordinal
+
+    def _reader_loop(self, conn: _WorkerConn) -> None:
+        while True:
+            try:
+                kind, body = recv_frame(conn.sock)
+            except (ProtocolError, OSError) as exc:
+                conn.alive = False
+                self.events.put(("lost", conn, str(exc)))
+                return
+            self.events.put((kind, conn, body))
+
+    def launch_worker(self, host: str, port: int) -> None:
+        launcher = self.executor.launcher
+        if launcher is None:
+            return
+        self.expecting += 1
+        handle = launcher(host, port, self.token, self.spawned)
+        if handle is not None:
+            self.processes.append(handle)
+
+    # ------------------------------------------------------------------
+    # the scheduler
+    # ------------------------------------------------------------------
+    def execute(self, chunks: List[List[IndexedSeed]]) -> ResultMap:
+        executor = self.executor
+        host, port = self.start_listener()
+        for _ in range(executor.n_workers if executor.launcher else 0):
+            self.launch_worker(host, port)
+
+        results: ResultMap = {}
+        todo: List[Tuple[int, List[IndexedSeed]]] = list(enumerate(chunks))
+        outstanding: Set[int] = {chunk_id for chunk_id, _chunk in todo}
+        chunk_map: Dict[int, List[IndexedSeed]] = dict(todo)
+        #: chunk_id -> pending reassignment entry awaiting its new owner
+        requeued_from: Dict[int, Dict[str, Any]] = {}
+        leases: Dict[str, Tuple[int, float]] = {}  # worker_id -> (chunk, t)
+        by_id: Dict[str, _WorkerConn] = {}
+        idle: List[_WorkerConn] = []
+        respawns = 0
+        last_progress = time.monotonic()
+
+        def harvest(chunk_id: int, body: Dict[str, Any]) -> None:
+            outstanding.discard(chunk_id)
+            snapshot = body.get("obs")
+            if snapshot is not None and self.obs is not None:
+                self.obs.merge(snapshot)
+            pairs = body["pairs"]
+            results.update(pairs)
+            if self.on_chunk_done is not None:
+                self.on_chunk_done(pairs)
+
+        def requeue(chunk_id: int, conn: _WorkerConn, reason: str) -> None:
+            if chunk_id not in outstanding:
+                return
+            entry = {
+                "trials": [index for index, _seed in chunk_map[chunk_id]],
+                "from": conn.worker_id,
+                "to": None,
+                "reason": reason,
+            }
+            self.executor.report.reassignments.append(entry)
+            requeued_from[chunk_id] = entry
+            todo.append((chunk_id, chunk_map[chunk_id]))
+            if self.obs is not None:
+                self.obs.counter("exec.reassigned").add()
+
+        def fail(message: str) -> "ExecutorError":
+            return ExecutorError(message, completed=results)
+
+        while outstanding:
+            # hand work to idle workers
+            while todo and idle:
+                chunk_id, chunk = todo.pop(0)
+                if chunk_id not in outstanding:
+                    continue  # completed by a late duplicate meanwhile
+                conn = idle.pop(0)
+                by_id[conn.worker_id] = conn
+                try:
+                    conn.send(
+                        "task", {"chunk_id": chunk_id, "chunk": chunk}
+                    )
+                except OSError:
+                    conn.alive = False
+                    todo.insert(0, (chunk_id, chunk))
+                    continue
+                leases[conn.worker_id] = (
+                    chunk_id,
+                    time.monotonic() + executor.lease_timeout,
+                )
+                entry = requeued_from.pop(chunk_id, None)
+                if entry is not None:
+                    entry["to"] = conn.worker_id
+
+            # wait for the next event or the next lease expiry
+            now = time.monotonic()
+            if leases:
+                wait = max(
+                    min(deadline for _cid, deadline in leases.values())
+                    - now,
+                    0.01,
+                )
+            else:
+                wait = 0.1
+                live_count = sum(1 for c in self.conns if c.alive)
+                if live_count == 0 and now - last_progress > (
+                    executor.connect_timeout
+                ):
+                    raise fail(
+                        "no live socket workers and none connected "
+                        f"within {executor.connect_timeout}s"
+                    )
+            try:
+                kind, conn, body = self.events.get(timeout=wait)
+            except queue.Empty:
+                kind, conn, body = "", None, None
+
+            if kind == "ready":
+                self.expecting = max(self.expecting - 1, 0)
+                last_progress = time.monotonic()
+                self.executor.report.workers.append(conn.worker_id)
+                if self.obs is not None:
+                    self.obs.counter("exec.workers").add()
+                idle.append(conn)
+            elif kind == "heartbeat":
+                last_progress = time.monotonic()
+                lease = leases.get(conn.worker_id)
+                if lease is not None:
+                    leases[conn.worker_id] = (
+                        lease[0],
+                        time.monotonic() + executor.lease_timeout,
+                    )
+            elif kind == "result":
+                chunk_id = body["chunk"]
+                leases.pop(conn.worker_id, None)
+                last_progress = time.monotonic()
+                conn.suspect = False
+                if chunk_id in outstanding:
+                    harvest(chunk_id, body)
+                # a duplicate (the chunk was redispatched and finished
+                # elsewhere first) carries bit-identical records, so
+                # dropping it is just deduplication, not data loss
+                if conn.alive:
+                    idle.append(conn)
+            elif kind == "trial_error":
+                raise body["error"]
+            elif kind == "lost":
+                self.executor.report.worker_losses += 1
+                if self.obs is not None:
+                    self.obs.counter("exec.worker_lost").add()
+                if conn in idle:
+                    idle.remove(conn)
+                lease = leases.pop(conn.worker_id, None)
+                if lease is not None:
+                    requeue(lease[0], conn, "worker_lost")
+                if executor.launcher is not None and self.retry_respawn(
+                    respawns
+                ):
+                    respawns += 1
+                    self.executor.report.retries += 1
+                    if self.obs is not None:
+                        self.obs.counter("exec.retries").add()
+                    executor.retry.sleep(respawns)
+                    self.launch_worker(host, port)
+                live = [c for c in self.conns if c.alive]
+                if (
+                    not live
+                    and outstanding
+                    and self.expecting <= 0
+                    and not self._external_possible()
+                ):
+                    raise fail(
+                        f"all socket workers lost ({respawns} "
+                        "respawn(s) already spent)"
+                    )
+
+            # revoke expired leases
+            now = time.monotonic()
+            for worker_id, (chunk_id, deadline) in list(leases.items()):
+                if deadline <= now:
+                    del leases[worker_id]
+                    owner = by_id.get(worker_id)
+                    if owner is not None:
+                        owner.suspect = True
+                        requeue(chunk_id, owner, "lease_expired")
+
+        return results
+
+    def retry_respawn(self, respawns: int) -> bool:
+        """Whether one more replacement worker fits the retry budget."""
+        return self.executor.retry.allows(respawns + 1)
+
+    def _external_possible(self) -> bool:
+        """External workers may still connect when no launcher exists."""
+        return self.executor.launcher is None
+
+    # ------------------------------------------------------------------
+    def shutdown(self) -> None:
+        """Release every run resource; safe to call more than once."""
+        self._accepting = False
+        for conn in self.conns:
+            if conn.alive:
+                try:
+                    conn.send("bye")
+                except OSError:
+                    pass
+            try:
+                conn.sock.close()
+            except OSError:
+                pass
+        if self.listener is not None:
+            try:
+                self.listener.close()
+            except OSError:
+                pass
+            self.listener = None
+        for process in self.processes:
+            join = getattr(process, "join", None)
+            if join is not None:
+                join(timeout=2.0)
+            if getattr(process, "is_alive", lambda: False)():
+                terminate = getattr(process, "terminate", None)
+                if terminate is not None:
+                    terminate()
+                    if join is not None:
+                        join(timeout=1.0)
+        self.processes = []

@@ -1,0 +1,203 @@
+"""The socket-fabric worker: ``python -m repro.exec.worker``.
+
+A worker connects to a :class:`~repro.exec.sockets.SocketWorkerExecutor`
+dispatcher, authenticates with the run token, and then executes task
+frames until told goodbye. The same :func:`run_worker` loop serves both
+deployment modes:
+
+* **forked** (the default launcher) — the dispatcher forks this process
+  from the running sweep, so the worker inherits the trial factories via
+  ``repro.sim.runner._WORKER_STATE`` exactly like a pool worker; only
+  seeds cross the wire.
+* **external** (``python -m repro.exec.worker --connect HOST:PORT
+  --token TOKEN``, e.g. launched over SSH) — the worker receives the
+  pickled worker state in its welcome frame, which requires the sweep's
+  factories to be picklable (module-level functions, not closures).
+
+While a task runs, a daemon thread heartbeats the dispatcher to renew
+the chunk lease. A worker assigned a :class:`~repro.exec.chaos.ChaosPlan`
+consults its deterministic :class:`~repro.exec.chaos.ChaosMonkey` once
+per task dispatch and misbehaves as instructed — hard exit, heartbeat-
+suspended stall, or connection drop — which is how the fabric's
+recovery machinery gets tested rather than trusted.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import socket
+import sys
+import threading
+import time
+from typing import Optional
+
+from repro.errors import ExecutorError, ReproError
+from repro.exec.chaos import ChaosAction, ChaosMonkey
+from repro.exec.protocol import ConnectionClosed, recv_frame, send_frame
+
+#: exit code of a chaos-killed worker (distinguishable from crashes in
+#: process listings and tests)
+CHAOS_KILL_EXIT = 17
+
+
+def run_worker(
+    host: str,
+    port: int,
+    token: str,
+    inherit_state: bool = True,
+    connect_timeout: float = 30.0,
+) -> None:
+    """Connect to a dispatcher and serve task frames until ``bye``.
+
+    ``inherit_state=True`` declares that this process already carries
+    the worker state (it was forked from the sweep); ``False`` asks the
+    dispatcher to ship the state in the welcome frame.
+    """
+    import repro.sim.runner as runner
+
+    sock = socket.create_connection((host, port), timeout=connect_timeout)
+    sock.settimeout(None)
+    stop: Optional[threading.Event] = None
+    try:
+        send_frame(
+            sock,
+            "hello",
+            {"token": token, "pid": os.getpid(), "inherit": inherit_state},
+        )
+        kind, body = recv_frame(sock)
+        if kind == "error":
+            raise ExecutorError(f"dispatcher refused worker: {body}")
+        if kind != "welcome":
+            raise ExecutorError(
+                f"expected a welcome frame, got {kind!r}"
+            )
+        ordinal = int(body["worker"])
+        heartbeat_interval = float(body["heartbeat_interval"])
+        plan = body.get("chaos")
+        shipped_state = body.get("state")
+        if shipped_state is not None:
+            runner._WORKER_STATE = shipped_state
+        elif not inherit_state:
+            raise ExecutorError(
+                "dispatcher shipped no worker state to an external worker"
+            )
+        monkey: Optional[ChaosMonkey] = (
+            plan.monkey_for(ordinal) if plan is not None else None
+        )
+
+        send_lock = threading.Lock()
+        heartbeats_on = threading.Event()
+        heartbeats_on.set()
+        stop = threading.Event()
+
+        def _beat() -> None:
+            while not stop.wait(heartbeat_interval):
+                if not heartbeats_on.is_set():
+                    continue
+                try:
+                    with send_lock:
+                        send_frame(sock, "heartbeat")
+                except OSError:
+                    return
+
+        threading.Thread(
+            target=_beat, name=f"repro-exec-heartbeat-w{ordinal}", daemon=True
+        ).start()
+
+        while True:
+            try:
+                kind, body = recv_frame(sock)
+            except ConnectionClosed:
+                return  # dispatcher is gone; nothing left to report to
+            if kind == "bye":
+                return
+            if kind != "task":
+                continue  # unknown frames are ignored for forward compat
+            if monkey is not None:
+                action = monkey.decide()
+                if action is ChaosAction.KILL:
+                    # a hard crash mid-task: no goodbye, no flush
+                    os._exit(CHAOS_KILL_EXIT)
+                if action is ChaosAction.PARTITION:
+                    # the network splits but the process lives on; from
+                    # the dispatcher's side this is indistinguishable
+                    # from a crash (EOF on the connection)
+                    sock.close()
+                    return
+                if action is ChaosAction.STALL:
+                    # hang with heartbeats suspended, long enough for
+                    # the lease to expire and the chunk to be
+                    # redispatched; then recover and answer late — the
+                    # dispatcher must deduplicate
+                    heartbeats_on.clear()
+                    time.sleep(monkey.plan.stall_seconds)
+                    heartbeats_on.set()
+            try:
+                pairs, snapshot = runner._run_trial_chunk(body["chunk"])
+            except ReproError as exc:
+                # a deterministic trial failure (timeout, bad config):
+                # redispatch would fail identically, so ship it home to
+                # abort the sweep instead of retrying
+                with send_lock:
+                    send_frame(
+                        sock,
+                        "trial_error",
+                        {"chunk": body["chunk_id"], "error": exc},
+                    )
+                continue
+            with send_lock:
+                send_frame(
+                    sock,
+                    "result",
+                    {
+                        "chunk": body["chunk_id"],
+                        "pairs": pairs,
+                        "obs": snapshot,
+                    },
+                )
+    finally:
+        if stop is not None:
+            stop.set()
+        sock.close()
+
+
+def main(argv: Optional[list] = None) -> int:
+    """CLI entry point for external (e.g. SSH-launched) workers."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.exec.worker",
+        description=(
+            "Connect to a running SocketWorkerExecutor dispatcher and "
+            "execute trial chunks until released."
+        ),
+    )
+    parser.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="dispatcher address printed/configured by the sweep",
+    )
+    parser.add_argument(
+        "--token",
+        default=os.environ.get("REPRO_EXEC_TOKEN"),
+        help=(
+            "run authentication token (default: the REPRO_EXEC_TOKEN "
+            "environment variable)"
+        ),
+    )
+    args = parser.parse_args(argv)
+    if not args.token:
+        parser.error("--token (or REPRO_EXEC_TOKEN) is required")
+    host, _, port_text = args.connect.rpartition(":")
+    if not host or not port_text.isdigit():
+        parser.error(f"--connect must be HOST:PORT, got {args.connect!r}")
+    try:
+        run_worker(host, int(port_text), args.token, inherit_state=False)
+    except (ExecutorError, OSError) as exc:
+        print(f"worker failed: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

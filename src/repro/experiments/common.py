@@ -2,13 +2,20 @@
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional, Union
 
 import numpy as np
 
 from repro.adversaries.base import Adversary
-from repro.experiments.config import resolve_batch_lanes, resolve_n_jobs
+from repro.experiments.config import (
+    resolve_batch_lanes,
+    resolve_executor,
+    resolve_n_jobs,
+)
 from repro.faults.plan import FaultPlan
+
+if TYPE_CHECKING:  # type-only: the runner pulls repro.exec in already
+    from repro.exec import Executor
 from repro.sim.engine import EngineConfig
 from repro.sim.runner import TrialResults, run_trials
 from repro.strategies.base import Strategy
@@ -33,18 +40,21 @@ def measure(
     config: Optional[EngineConfig] = None,
     n_jobs: Optional[int] = None,
     batch_lanes: Optional[int] = None,
+    executor: Union[str, "Executor", None] = None,
     fault_plan: Optional[FaultPlan] = None,
     timeout: Optional[float] = None,
     checkpoint_path: Optional[str] = None,
 ) -> TrialResults:
     """``run_trials`` with the experiment-wide defaults.
 
-    ``n_jobs=None`` and ``batch_lanes=None`` defer to the process-wide
-    defaults (the CLI ``--jobs``/``--batch-lanes`` flags or the
-    ``REPRO_BENCH_JOBS``/``REPRO_BATCH_LANES`` environment variables);
-    results are identical for every worker count and lane width.
-    ``fault_plan``, ``timeout``, and ``checkpoint_path`` pass straight
-    through to :func:`~repro.sim.runner.run_trials`.
+    ``n_jobs=None``, ``batch_lanes=None``, and ``executor=None`` defer
+    to the process-wide defaults (the CLI
+    ``--jobs``/``--batch-lanes``/``--executor`` flags or the
+    ``REPRO_BENCH_JOBS``/``REPRO_BATCH_LANES``/``REPRO_EXECUTOR``
+    environment variables); results are identical for every worker
+    count, lane width, and backend. ``fault_plan``, ``timeout``, and
+    ``checkpoint_path`` pass straight through to
+    :func:`~repro.sim.runner.run_trials`.
     """
     if config is None:
         config = EngineConfig(max_rounds=max_rounds)
@@ -57,6 +67,7 @@ def measure(
         config=config,
         n_jobs=resolve_n_jobs(n_jobs),
         batch_lanes=resolve_batch_lanes(batch_lanes),
+        executor=resolve_executor(executor),
         fault_plan=fault_plan,
         timeout=timeout,
         checkpoint_path=checkpoint_path,

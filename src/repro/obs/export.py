@@ -217,13 +217,30 @@ def render_summary(observations: Observations) -> str:
 
 
 # ----------------------------------------------------------------------
+#: manifest fields that describe *how* a run executed rather than *what*
+#: it computed — the same seed on a different backend produces identical
+#: results, so these never contribute to a diff verdict
+REPORTING_MANIFEST_FIELDS = ("executor",)
+
+#: counter namespaces that describe the execution fabric rather than the
+#: computation — how many workers ran, died, or were retried is
+#: environmental (a chaos-killed socket run of a seed must diff clean
+#: against its serial twin), so these never flip a diff verdict
+REPORTING_COUNTER_PREFIXES = ("exec.",)
+
+
 def diff_observations(a: Observations, b: Observations) -> List[str]:
     """Human-readable differences between two observation files.
 
     Compares manifests field by field and counters name by name (timers
-    are durations — environmental, so never part of a diff verdict).
-    Returns one line per difference; an empty list means the two runs
-    claim the same provenance and counted the same events.
+    are durations — environmental, so never part of a diff verdict, and
+    the reporting-only manifest fields in
+    :data:`REPORTING_MANIFEST_FIELDS` plus the counter namespaces in
+    :data:`REPORTING_COUNTER_PREFIXES` — e.g. which executor backend ran
+    the trials and how many workers it lost — are likewise excluded; see
+    :func:`informational_differences`). Returns one line per difference;
+    an empty list means the two runs claim the same provenance and
+    counted the same events.
     """
     out: List[str] = []
     if (a.manifest is None) != (b.manifest is None):
@@ -235,13 +252,47 @@ def diff_observations(a: Observations, b: Observations) -> List[str]:
     elif a.manifest is not None and b.manifest is not None:
         left, right = a.manifest.to_dict(), b.manifest.to_dict()
         for key in sorted(set(left) | set(right)):
+            if key in REPORTING_MANIFEST_FIELDS:
+                continue
             if left.get(key) != right.get(key):
                 out.append(
                     f"manifest.{key}: {left.get(key)!r} != {right.get(key)!r}"
                 )
     for name in sorted(set(a.counters) | set(b.counters)):
+        if name.startswith(REPORTING_COUNTER_PREFIXES):
+            continue
         left_value = a.counters.get(name)
         right_value = b.counters.get(name)
         if left_value != right_value:
             out.append(f"counter {name}: {left_value!r} != {right_value!r}")
+    return out
+
+
+def informational_differences(a: Observations, b: Observations) -> List[str]:
+    """Differences in the reporting-only manifest fields and counters.
+
+    These describe the run's execution fabric (backend, worker roster,
+    reassignments, worker losses) — worth surfacing when two files are
+    compared, but never grounds for declaring the runs different:
+    :func:`diff_observations` ignores them by design.
+    """
+    out: List[str] = []
+    if a.manifest is not None and b.manifest is not None:
+        left, right = a.manifest.to_dict(), b.manifest.to_dict()
+        for key in REPORTING_MANIFEST_FIELDS:
+            if left.get(key) != right.get(key):
+                out.append(
+                    f"manifest.{key} (reporting only): "
+                    f"{left.get(key)!r} != {right.get(key)!r}"
+                )
+    for name in sorted(set(a.counters) | set(b.counters)):
+        if not name.startswith(REPORTING_COUNTER_PREFIXES):
+            continue
+        left_value = a.counters.get(name)
+        right_value = b.counters.get(name)
+        if left_value != right_value:
+            out.append(
+                f"counter {name} (reporting only): "
+                f"{left_value!r} != {right_value!r}"
+            )
     return out

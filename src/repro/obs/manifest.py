@@ -33,8 +33,8 @@ from dataclasses import asdict, dataclass, field, fields, is_dataclass
 from typing import Any, Dict, Mapping, Optional, Tuple
 
 #: bump when a field is added/renamed/removed; readers check it
-#: (2: added ``batch_fallback_reason``)
-SCHEMA_VERSION = 2
+#: (2: added ``batch_fallback_reason``; 3: added ``executor``)
+SCHEMA_VERSION = 3
 
 
 def _canonical_json(payload: Any) -> str:
@@ -146,6 +146,14 @@ class RunManifest:
         (the :func:`~repro.sim.batch_engine.batch_fallback_reason`
         string), or ``None`` when the run batched as asked — including
         every run that never asked for batching.
+    executor:
+        What the execution fabric did: backend name, worker roster,
+        reassignment log, retry/loss tallies, and any degradation steps
+        (the :class:`~repro.exec.base.ExecutorReport` dict), or
+        ``None`` for artifacts that ran no trials. **Reporting, not
+        identity**: two runs of the same seed on different backends
+        produce identical results, so ``repro obs diff`` reports this
+        field informationally and excludes it from its verdict.
     versions:
         ``{"python": ..., "numpy": ..., "repro": ...}``.
     host:
@@ -161,6 +169,7 @@ class RunManifest:
     n_trials: Optional[int] = None
     fault_plan_digest: Optional[str] = None
     batch_fallback_reason: Optional[str] = None
+    executor: Optional[Dict[str, Any]] = None
     versions: Dict[str, str] = field(default_factory=dict)
     host: Dict[str, Any] = field(default_factory=dict)
     git_rev: Optional[str] = None
@@ -211,6 +220,7 @@ def collect_manifest(
     fault_plan: Optional[Any] = None,
     config_payload: Optional[Any] = None,
     batch_fallback_reason: Optional[str] = None,
+    executor: Optional[Dict[str, Any]] = None,
 ) -> RunManifest:
     """Build a :class:`RunManifest` for the current process.
 
@@ -221,6 +231,9 @@ def collect_manifest(
     :func:`repro.rng.make_seed_sequence` does; ``None`` records no seed.
     ``batch_fallback_reason`` is the runner's audit of a degraded
     ``batch_lanes`` request (``None``: no degradation happened).
+    ``executor`` is the execution fabric's report dict
+    (:meth:`repro.exec.base.ExecutorReport.to_dict`; ``None``: no
+    trials were dispatched).
     """
     from repro.rng import make_seed_sequence
 
@@ -239,6 +252,7 @@ def collect_manifest(
         n_trials=n_trials,
         fault_plan_digest=fault_plan_digest(fault_plan),
         batch_fallback_reason=batch_fallback_reason,
+        executor=executor,
         versions=dict(versions),
         host=dict(host),
         git_rev=git_rev,

@@ -17,16 +17,25 @@ dispatch, in trial order, and results are re-assembled in trial order, so
 the aggregated arrays are bit-identical to the serial path for the same
 seed regardless of ``n_jobs`` or chunking.
 
+Execution is delegated to the pluggable fabric in :mod:`repro.exec`
+(``executor=``): the serial reference backend, the local fork pool, or
+TCP socket workers with lease-based recovery — all dispatching the same
+pre-derived seeds, so results are bit-identical regardless of where (or
+how many times, after crashes) a trial ran.
+
 The runner is additionally hardened for long sweeps (see
 ``docs/robustness.md``):
 
 * ``timeout=`` — a per-trial wall-clock cap; a hung engine raises
-  :class:`~repro.errors.TrialTimeoutError` instead of stalling the sweep.
-* crashed pool workers (``BrokenProcessPool``) are retried with
-  exponential backoff; a retry re-dispatches the *same* pre-derived seed
-  sequences, so retried trials are bit-identical to an undisturbed run.
-  If the pool keeps dying the runner degrades to in-process serial
-  execution of the remaining chunks rather than giving up.
+  :class:`~repro.errors.TrialTimeoutError` instead of stalling the
+  sweep. Enforced by the monotonic-deadline watchdog in
+  :mod:`repro.exec.deadline`, on any thread and every backend.
+* crashed workers (a broken pool, a lost socket worker) are retried on
+  the shared :class:`~repro.exec.retry.RetryPolicy` backoff; a retry
+  re-dispatches the *same* pre-derived seed sequences, so retried
+  trials are bit-identical to an undisturbed run. When a backend's
+  retry budget runs out the sweep degrades down the executor chain
+  (socket → local pool → serial) rather than giving up.
 * ``checkpoint_path=`` — completed trials are appended to a JSONL
   checkpoint as they finish; an interrupted sweep resumes from the last
   completed chunk and produces ``per_trial`` arrays bit-identical to an
@@ -47,33 +56,35 @@ individually too small to fill ``batch_lanes`` still runs full lanes.
 from __future__ import annotations
 
 import json
-import math
 import multiprocessing
 import os
-import signal
-import threading
-import time
 import warnings
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from concurrent.futures.process import BrokenProcessPool
-from contextlib import contextmanager, nullcontext
+from contextlib import nullcontext
 from dataclasses import dataclass, field
-from types import FrameType
 from typing import (
     TYPE_CHECKING,
     Any,
     Callable,
     Dict,
-    Iterator,
     List,
     Optional,
     Sequence,
     Tuple,
+    Union,
 )
 
 import numpy as np
 
 from repro.errors import CheckpointError, ConfigurationError, TrialTimeoutError
+from repro.exec import (
+    Executor,
+    LocalPoolExecutor,
+    RetryPolicy,
+    SerialExecutor,
+    SocketWorkerExecutor,
+    execute_with_fallback,
+)
+from repro.exec.deadline import trial_deadline as _trial_deadline
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.obs.manifest import RunManifest, collect_manifest
@@ -167,37 +178,10 @@ class TrialResults:
 # ----------------------------------------------------------------------
 # Per-trial execution
 # ----------------------------------------------------------------------
-@contextmanager
-def _trial_deadline(seconds: Optional[float]) -> Iterator[None]:
-    """Raise :class:`TrialTimeoutError` if the block runs past ``seconds``.
-
-    Implemented with ``SIGALRM`` so it interrupts a genuinely hung engine
-    (a tight numpy loop, not just a slow sleep). Enforcement requires a
-    Unix main thread — forked pool workers qualify — and is silently
-    skipped elsewhere, matching the fork-only parallel backend.
-    """
-    usable = (
-        seconds is not None
-        and seconds > 0
-        and hasattr(signal, "SIGALRM")
-        and threading.current_thread() is threading.main_thread()
-    )
-    if not usable:
-        yield
-        return
-
-    def _expired(signum: int, frame: Optional[FrameType]) -> None:
-        raise TrialTimeoutError(
-            f"trial exceeded its wall-clock budget of {seconds}s"
-        )
-
-    previous = signal.signal(signal.SIGALRM, _expired)
-    signal.setitimer(signal.ITIMER_REAL, float(seconds))
-    try:
-        yield
-    finally:
-        signal.setitimer(signal.ITIMER_REAL, 0.0)
-        signal.signal(signal.SIGALRM, previous)
+# The per-trial wall-clock budget is enforced by the executor fabric's
+# monotonic-deadline watchdog (see :mod:`repro.exec.deadline`): same
+# TrialTimeoutError, same message, but it works off the main thread and
+# on every backend, where the old SIGALRM interval timer could not.
 
 
 def _execute_trial(
@@ -330,96 +314,59 @@ def resolve_n_jobs(n_jobs: Optional[int]) -> int:
     return n_jobs
 
 
-def _run_parallel(
-    pending: List[_IndexedSeed],
+def _executor_chain(
+    executor: Union[str, Executor, None],
+    executor_fallback: bool,
     jobs: int,
-    chunk_size: Optional[int],
-    state: Dict[str, Any],
-    max_retries: int,
-    backoff_base: float,
-    on_chunk_done: Optional[Callable[[List[Tuple[int, _TrialRecord]]], None]],
-) -> Dict[int, _TrialRecord]:
-    """Fan trials out over a forked pool, surviving worker crashes.
+    retry: RetryPolicy,
+    parallel_viable: bool,
+) -> List[Executor]:
+    """Resolve the ``executor=`` knob into a degradation chain.
 
-    Chunks are submitted individually so completed work is harvested (and
-    checkpointed) even when a later chunk kills its worker. On
-    ``BrokenProcessPool`` the unfinished chunks are re-submitted to a
-    fresh pool after an exponential backoff; each chunk carries its
-    pre-derived seed sequences, so a retried trial replays the exact
-    stream of its first attempt. After ``max_retries`` pool rebuilds the
-    runner stops trusting the pool and finishes the remaining chunks
-    serially in-process.
+    ``None`` preserves the pre-fabric behaviour: the local fork pool
+    when one is viable (``n_jobs > 1``, more than one pending trial,
+    ``fork`` available), otherwise plain serial. Names pick a backend
+    explicitly; an :class:`~repro.exec.base.Executor` instance is used
+    as given. Unless ``executor_fallback`` is off, every chain ends in
+    :class:`~repro.exec.serial.SerialExecutor`, so a sweep survives any
+    environmental failure and only genuine trial errors abort it.
     """
-    lanes = state.get("batch_lanes", 1) or 1
-    if chunk_size is None:
-        # ~4 chunks per worker: coarse enough to amortize dispatch,
-        # fine enough to keep stragglers from idling the pool.
-        chunk_size = max(1, math.ceil(len(pending) / (jobs * 4)))
-        if lanes > 1:
-            # Round up to whole lane groups so workers run full batches.
-            chunk_size = math.ceil(chunk_size / lanes) * lanes
-    remaining = [
-        list(pending[start : start + chunk_size])
-        for start in range(0, len(pending), chunk_size)
-    ]
-    context = multiprocessing.get_context("fork")
-    results: Dict[int, _TrialRecord] = {}
-    attempt = 0
-    obs: Optional[Registry] = state.get("obs")
-
-    def harvest(
-        outcome: Tuple[List[Tuple[int, _TrialRecord]], Optional[Dict[str, Any]]]
-    ) -> None:
-        pairs, snapshot = outcome
-        if snapshot is not None and obs is not None:
-            obs.merge(snapshot)
-        results.update(pairs)
-        if on_chunk_done is not None:
-            on_chunk_done(pairs)
-
-    global _WORKER_STATE
-    previous = _WORKER_STATE
-    _WORKER_STATE = state
-    try:
-        while remaining:
-            try:
-                with ProcessPoolExecutor(
-                    max_workers=min(jobs, len(remaining)), mp_context=context
-                ) as pool:
-                    futures = {
-                        pool.submit(_run_trial_chunk, chunk): chunk
-                        for chunk in remaining
-                    }
-                    for future in as_completed(futures):
-                        harvest(future.result())
-                remaining = []
-            except BrokenProcessPool:
-                remaining = [
-                    chunk
-                    for chunk in remaining
-                    if any(index not in results for index, _seed in chunk)
-                ]
-                attempt += 1
-                if attempt > max_retries:
-                    warnings.warn(
-                        f"process pool died {attempt} times; degrading to "
-                        f"serial execution for the remaining "
-                        f"{sum(len(c) for c in remaining)} trial(s)",
-                        RuntimeWarning,
-                        stacklevel=3,
-                    )
-                    for chunk in remaining:
-                        # in-process: obs increments land directly in the
-                        # parent registry, so there is no snapshot to merge
-                        harvest((_run_serial_chunk(chunk, state), None))
-                    remaining = []
-                else:
-                    delay = backoff_base * (2 ** (attempt - 1))
-                    if delay > 0:
-                        time.sleep(delay)
-    finally:
-        _WORKER_STATE = previous
-    return results
+    chain: List[Executor]
+    if executor is None:
+        if parallel_viable:
+            chain = [LocalPoolExecutor(n_jobs=jobs, retry=retry)]
+        else:
+            chain = [SerialExecutor()]
+    elif isinstance(executor, str):
+        name = executor.strip().lower()
+        if name == "serial":
+            chain = [SerialExecutor()]
+        elif name == "local":
+            chain = [LocalPoolExecutor(n_jobs=jobs, retry=retry)]
+        elif name == "socket":
+            chain = [
+                SocketWorkerExecutor(n_workers=max(jobs, 2), retry=retry),
+                LocalPoolExecutor(n_jobs=jobs, retry=retry),
+            ]
+        else:
+            raise ConfigurationError(
+                f"unknown executor {executor!r}; choose from 'serial', "
+                "'local', 'socket', or pass an Executor instance"
+            )
+    elif isinstance(executor, Executor):
+        chain = [executor]
+        if parallel_viable and isinstance(executor, SocketWorkerExecutor):
+            chain.append(LocalPoolExecutor(n_jobs=jobs, retry=retry))
+    else:
+        raise ConfigurationError(
+            f"executor must be None, a backend name, or an Executor "
+            f"instance, got {executor!r}"
+        )
+    if not isinstance(chain[-1], SerialExecutor):
+        chain.append(SerialExecutor())
+    if not executor_fallback:
+        chain = chain[:1]
+    return chain
 
 
 def _run_serial_chunk(
@@ -934,6 +881,8 @@ def run_trials(
     max_retries: int = 2,
     backoff_base: float = 0.5,
     checkpoint_path: Optional[str] = None,
+    executor: Union[str, Executor, None] = None,
+    executor_fallback: bool = True,
     obs: Optional[Registry] = None,
 ) -> TrialResults:
     """Run ``n_trials`` independent simulations and aggregate summaries.
@@ -978,16 +927,37 @@ def run_trials(
     timeout:
         Per-trial wall-clock cap in seconds; a trial running past it
         raises :class:`~repro.errors.TrialTimeoutError` (no retry: a hung
-        trial is deterministic). Enforced via ``SIGALRM`` on Unix main
-        threads — which covers the serial path and every forked worker —
-        and skipped silently elsewhere.
+        trial is deterministic). Enforced by the monotonic-deadline
+        watchdog (:mod:`repro.exec.deadline`) on every backend — main
+        thread, scheduler threads, forked and socket workers alike.
     max_retries:
-        Pool rebuilds to attempt when workers die (``BrokenProcessPool``)
-        before degrading to serial execution of the remaining chunks.
-        Retries re-dispatch the same pre-derived seed sequences, so
-        results stay bit-identical however many retries it takes.
+        Recovery budget when workers die — pool rebuilds for the local
+        backend, replacement workers for the socket backend — before the
+        backend gives up and the degradation chain takes over. Retries
+        re-dispatch the same pre-derived seed sequences, so results stay
+        bit-identical however many retries it takes. ``max_retries`` and
+        ``backoff_base`` seed the shared
+        :class:`~repro.exec.retry.RetryPolicy`.
     backoff_base:
-        First retry delay in seconds; doubled on each further rebuild.
+        First retry delay in seconds; doubled on each further retry
+        (capped — see :class:`~repro.exec.retry.RetryPolicy`).
+    executor:
+        Which execution backend runs the trials: ``None`` (the local
+        fork pool when ``n_jobs`` asks for one, else serial), a backend
+        name (``"serial"``, ``"local"``, ``"socket"``), or an
+        :class:`~repro.exec.base.Executor` instance (e.g. a configured
+        :class:`~repro.exec.sockets.SocketWorkerExecutor`). Results are
+        bit-identical across all backends for the same seed; the chosen
+        backend and its worker/reassignment log are recorded in the
+        manifest's ``executor`` field.
+    executor_fallback:
+        When ``True`` (default) a failing backend degrades down the
+        chain — socket → local pool → serial — with a warning and an
+        ``exec.degraded`` counter per step, keeping partial results.
+        ``False`` runs the selected backend only and lets its
+        :class:`~repro.errors.ExecutorError` propagate (completed
+        trials are already checkpointed when ``checkpoint_path`` is
+        set, so an aborted sweep resumes cleanly).
     checkpoint_path:
         Incremental JSONL checkpoint of completed trials. If the file
         already exists (same seed and trial count — anything else raises
@@ -1054,15 +1024,7 @@ def run_trials(
         done = checkpoint.load()
 
     registry = obs if obs is not None else active_registry()
-    manifest = collect_manifest(
-        seed=seed,
-        n_trials=n_trials,
-        config=config,
-        fault_plan=fault_plan,
-        batch_fallback_reason=fallback_reason,
-    )
     if registry is not None:
-        registry.manifest = manifest
         registry.counter("runner.runs").add()
         registry.counter("runner.trials_requested").add(n_trials)
         if fallback_reason is not None:
@@ -1092,11 +1054,16 @@ def run_trials(
         state["batch_lanes"] = lanes
     on_chunk_done = checkpoint.append if checkpoint is not None else None
 
-    parallel = (
+    retry = RetryPolicy(max_retries=max_retries, backoff_base=backoff_base)
+    parallel_viable = (
         jobs > 1
         and len(pending) > 1
         and "fork" in multiprocessing.get_all_start_methods()
     )
+    chain = _executor_chain(
+        executor, executor_fallback, jobs, retry, parallel_viable
+    )
+    executor_report: Optional[Dict[str, Any]] = None
     # The only timing in the runner layer: the Timer owns the clock read
     # (inside repro.obs, outside the determinism-critical packages).
     span = (
@@ -1105,25 +1072,40 @@ def run_trials(
         else nullcontext()
     )
     with span:
-        if parallel:
-            done.update(
-                _run_parallel(
-                    pending,
-                    jobs,
-                    chunk_size,
-                    state,
-                    max_retries,
-                    backoff_base,
-                    on_chunk_done,
+        if pending:
+            if len(chain) == 1:
+                used = chain[0]
+                used._reset_report()
+                done.update(
+                    used.run(
+                        pending,
+                        state,
+                        chunk_size=chunk_size,
+                        on_chunk_done=on_chunk_done,
+                    )
                 )
-            )
-        else:
-            step = lanes if lanes > 1 else 1
-            for start in range(0, len(pending), step):
-                pairs = _run_serial_chunk(pending[start : start + step], state)
-                done.update(pairs)
-                if on_chunk_done is not None:
-                    on_chunk_done(pairs)
+            else:
+                completed, used = execute_with_fallback(
+                    chain,
+                    pending,
+                    state,
+                    chunk_size=chunk_size,
+                    on_chunk_done=on_chunk_done,
+                    obs=registry,
+                )
+                done.update(completed)
+            executor_report = used.report.to_dict()
+
+    manifest = collect_manifest(
+        seed=seed,
+        n_trials=n_trials,
+        config=config,
+        fault_plan=fault_plan,
+        batch_fallback_reason=fallback_reason,
+        executor=executor_report,
+    )
+    if registry is not None:
+        registry.manifest = manifest
 
     records = [done[index] for index in range(n_trials)]
     rows = [record[0] for record in records]

@@ -1,0 +1,1 @@
+"""Tests for the fault-tolerant trial execution fabric (repro.exec)."""

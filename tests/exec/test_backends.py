@@ -1,0 +1,270 @@
+"""Backend equivalence and recovery: every executor, same bits.
+
+The fabric's correctness contract is single-sentence: for one seed,
+``run_trials`` returns bit-identical ``per_trial`` arrays whichever
+backend ran the trials, however many workers died along the way. These
+tests pin that sentence, plus the provenance trail (manifest ``executor``
+field, ``exec.*`` counters) that says what the fabric actually did.
+"""
+
+import time
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.baselines.trivial import TrivialStrategy
+from repro.errors import ConfigurationError, ExecutorError, TrialTimeoutError
+from repro.exec import (
+    ChaosPlan,
+    LocalPoolExecutor,
+    RetryPolicy,
+    SerialExecutor,
+    SocketWorkerExecutor,
+)
+from repro.obs.registry import Registry
+from repro.sim.runner import run_trials
+from repro.world.generators import planted_instance
+
+
+def factory(n=16, m=16, beta=0.25, alpha=0.75):
+    return lambda rng: planted_instance(
+        n=n, m=m, beta=beta, alpha=alpha, rng=rng
+    )
+
+
+def sweep(executor=None, n_trials=8, seed=42, **kwargs):
+    return run_trials(
+        factory(),
+        TrivialStrategy,
+        n_trials=n_trials,
+        seed=seed,
+        executor=executor,
+        **kwargs,
+    )
+
+
+def assert_identical(a, b):
+    assert set(a.per_trial) == set(b.per_trial)
+    for key in a.per_trial:
+        assert np.array_equal(a.per_trial[key], b.per_trial[key]), key
+
+
+def fast_socket(**kwargs):
+    """A socket executor tuned for test latency, not production."""
+    kwargs.setdefault("n_workers", 2)
+    kwargs.setdefault("lease_timeout", 5.0)
+    kwargs.setdefault("heartbeat_interval", 0.25)
+    kwargs.setdefault("retry", RetryPolicy(max_retries=4, backoff_base=0.0))
+    return SocketWorkerExecutor(**kwargs)
+
+
+def noop_launcher(host, port, token, ordinal):
+    """A launcher that never actually starts anything."""
+    return None
+
+
+class TestEquivalence:
+    def test_serial_name_matches_default(self):
+        assert_identical(sweep(), sweep(executor="serial"))
+
+    def test_serial_instance_matches_default(self):
+        assert_identical(sweep(), sweep(executor=SerialExecutor()))
+
+    def test_local_pool_matches_serial(self):
+        assert_identical(sweep(), sweep(executor="local", n_jobs=2))
+
+    def test_local_instance_without_fork_viability_matches_serial(self):
+        # n_jobs=1: the pool is not viable, the backend runs in-process
+        assert_identical(
+            sweep(), sweep(executor=LocalPoolExecutor(n_jobs=1))
+        )
+
+    def test_socket_matches_serial(self):
+        assert_identical(sweep(), sweep(executor=fast_socket()))
+
+    def test_socket_with_lanes_matches_serial_with_lanes(self):
+        a = sweep(batch_lanes=4)
+        b = sweep(executor=fast_socket(), batch_lanes=4)
+        assert_identical(a, b)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown executor"):
+            sweep(executor="quantum")
+
+    def test_non_executor_object_rejected(self):
+        with pytest.raises(ConfigurationError, match="Executor instance"):
+            sweep(executor=42)
+
+
+class TestManifestReport:
+    def test_serial_backend_recorded(self):
+        manifest = sweep(executor="serial").manifest
+        assert manifest.executor["backend"] == "serial"
+        assert manifest.executor["reassignments"] == []
+
+    def test_local_pool_roster_recorded(self):
+        manifest = sweep(executor="local", n_jobs=2).manifest
+        assert manifest.executor["backend"] == "local"
+        assert manifest.executor["workers"]  # at least one pool worker
+
+    def test_socket_roster_recorded(self):
+        manifest = sweep(executor=fast_socket()).manifest
+        assert manifest.executor["backend"] == "socket"
+        assert len(manifest.executor["workers"]) >= 2
+
+
+class TestChaosEquivalence:
+    """The acceptance criterion: chaos-killed runs lose nothing."""
+
+    def test_killed_workers_change_nothing(self):
+        baseline = sweep(executor="serial")
+        registry = Registry()
+        chaotic = sweep(
+            executor=fast_socket(
+                chaos=ChaosPlan(kill_rate=0.5, max_events=2, seed=7)
+            ),
+            obs=registry,
+        )
+        assert_identical(baseline, chaotic)
+
+        report = chaotic.manifest.executor
+        assert report["backend"] == "socket"
+        assert report["worker_losses"] >= 1
+        assert report["reassignments"], "chaos run must log reassignments"
+        for entry in report["reassignments"]:
+            assert entry["reason"] in ("worker_lost", "lease_expired")
+            assert entry["trials"]
+
+        counters = registry.counters()
+        assert counters["exec.worker_lost"] >= 1
+        assert counters["exec.reassigned"] >= 1
+        assert counters["exec.retries"] >= 1
+
+    def test_partitioned_workers_change_nothing(self):
+        baseline = sweep(executor="serial")
+        chaotic = sweep(
+            executor=fast_socket(
+                chaos=ChaosPlan(partition_rate=0.5, max_events=2, seed=3)
+            )
+        )
+        assert_identical(baseline, chaotic)
+
+    def test_every_trial_checkpointed_exactly_once_under_chaos(self, tmp_path):
+        """Redispatch is idempotent and the dispatcher deduplicates, so
+        the checkpoint hook sees each trial exactly once even when its
+        first owner was killed mid-chunk."""
+        import json
+
+        path = str(tmp_path / "chaos.ckpt")
+        sweep(
+            executor=fast_socket(
+                chaos=ChaosPlan(kill_rate=0.5, max_events=2, seed=7)
+            ),
+            chunk_size=2,
+            checkpoint_path=path,
+        )
+        with open(path) as handle:
+            lines = [json.loads(line) for line in handle if line.strip()]
+        indexes = [entry["index"] for entry in lines[1:]]  # line 1: header
+        assert sorted(indexes) == list(range(8))
+
+
+class TestDegradation:
+    def test_socket_failure_degrades_to_serial(self):
+        executor = fast_socket(
+            launcher=noop_launcher,
+            connect_timeout=0.4,
+            retry=RetryPolicy(max_retries=0, backoff_base=0.0),
+        )
+        registry = Registry()
+        with pytest.warns(RuntimeWarning, match="degrading to serial"):
+            degraded = sweep(executor=executor, obs=registry)
+        assert_identical(sweep(), degraded)
+        report = degraded.manifest.executor
+        assert report["backend"] == "serial"
+        assert report["degraded_from"] == ["socket"]
+        assert registry.counters()["exec.degraded"] == 1
+
+    def test_fallback_disabled_propagates_executor_error(self):
+        executor = fast_socket(
+            launcher=noop_launcher,
+            connect_timeout=0.4,
+            retry=RetryPolicy(max_retries=0, backoff_base=0.0),
+        )
+        with pytest.raises(ExecutorError, match="no live socket workers"):
+            sweep(executor=executor, executor_fallback=False)
+
+
+class SleepyStrategy(TrivialStrategy):
+    """Stalls inside the engine long enough to trip any sane timeout."""
+
+    def choose_probes(self, round_no, active_players, view):
+        time.sleep(10.0)
+        return super().choose_probes(round_no, active_players, view)
+
+
+class TestTimeoutAcrossBackends:
+    def test_socket_worker_timeout_aborts_the_sweep(self):
+        """A hung trial is deterministic: redispatching it would hang
+        again, so the worker ships the timeout home and the sweep
+        aborts instead of degrading."""
+        with pytest.raises(TrialTimeoutError, match="wall-clock budget"):
+            run_trials(
+                factory(),
+                SleepyStrategy,
+                n_trials=2,
+                seed=0,
+                timeout=0.3,
+                executor=fast_socket(),
+            )
+
+
+class TestValidation:
+    def test_socket_rejects_bad_heartbeat(self):
+        with pytest.raises(ConfigurationError, match="heartbeat_interval"):
+            SocketWorkerExecutor(lease_timeout=1.0, heartbeat_interval=2.0)
+
+    def test_socket_rejects_nonpositive_lease(self):
+        with pytest.raises(ConfigurationError, match="lease_timeout"):
+            SocketWorkerExecutor(lease_timeout=0.0)
+
+    def test_socket_rejects_zero_workers_with_launcher(self):
+        with pytest.raises(ConfigurationError, match="n_workers"):
+            SocketWorkerExecutor(n_workers=0)
+
+
+class TestProcessWideKnob:
+    def test_env_and_override_resolution(self, monkeypatch):
+        from repro.experiments.config import (
+            EXECUTOR_ENV_VAR,
+            default_executor,
+            resolve_executor,
+            set_default_executor,
+        )
+
+        monkeypatch.setenv(EXECUTOR_ENV_VAR, "serial")
+        assert default_executor() == "serial"
+        monkeypatch.setenv(EXECUTOR_ENV_VAR, "bogus")
+        with pytest.raises(ConfigurationError, match="REPRO_EXECUTOR"):
+            default_executor()
+        monkeypatch.delenv(EXECUTOR_ENV_VAR)
+        set_default_executor("local")
+        try:
+            assert resolve_executor(None) == "local"
+            assert resolve_executor("serial") == "serial"
+        finally:
+            set_default_executor(None)
+
+    def test_measure_threads_the_knob_through(self):
+        from repro.experiments.common import measure
+        from repro.experiments.config import set_default_executor
+
+        set_default_executor(SerialExecutor())
+        try:
+            result = measure(
+                factory(), TrivialStrategy, trials=3, seed=5
+            )
+        finally:
+            set_default_executor(None)
+        assert result.manifest.executor["backend"] == "serial"

@@ -1,0 +1,148 @@
+"""Executor protocol machinery: chunking, reports, the fallback chain."""
+
+import warnings
+
+import pytest
+
+from repro.errors import ExecutorError
+from repro.exec import (
+    Executor,
+    ExecutorReport,
+    build_chunks,
+    execute_with_fallback,
+)
+from repro.obs.registry import Registry
+
+
+def units(count):
+    """Dispatch units with None seeds (base machinery never reads them)."""
+    return [(index, None) for index in range(count)]
+
+
+class TestBuildChunks:
+    def test_everything_covered_once_in_order(self):
+        chunks = build_chunks(units(17), workers=2, chunk_size=None, lanes=1)
+        flat = [index for chunk in chunks for index, _seed in chunk]
+        assert flat == list(range(17))
+
+    def test_default_targets_four_chunks_per_worker(self):
+        chunks = build_chunks(units(32), workers=2, chunk_size=None, lanes=1)
+        assert len(chunks) == 8
+        assert all(len(chunk) == 4 for chunk in chunks)
+
+    def test_explicit_chunk_size_wins(self):
+        chunks = build_chunks(units(10), workers=4, chunk_size=3, lanes=1)
+        assert [len(c) for c in chunks] == [3, 3, 3, 1]
+
+    def test_rounded_up_to_whole_lane_groups(self):
+        # 32 units over 3 workers → raw size ceil(32/12)=3, rounded up
+        # to the lane multiple 4 so workers always run full batches
+        chunks = build_chunks(units(32), workers=3, chunk_size=None, lanes=4)
+        assert all(len(chunk) % 4 == 0 for chunk in chunks[:-1])
+
+    def test_single_unit(self):
+        assert build_chunks(units(1), 8, None, 1) == [[(0, None)]]
+
+
+class TestExecutorReport:
+    def test_to_dict_is_stable_and_copied(self):
+        report = ExecutorReport(backend="socket")
+        report.workers.append("w0")
+        report.reassignments.append(
+            {"trials": [3], "from": "w0", "to": "w1", "reason": "worker_lost"}
+        )
+        payload = report.to_dict()
+        assert payload == {
+            "backend": "socket",
+            "workers": ["w0"],
+            "reassignments": [
+                {
+                    "trials": [3],
+                    "from": "w0",
+                    "to": "w1",
+                    "reason": "worker_lost",
+                }
+            ],
+            "retries": 0,
+            "worker_losses": 0,
+            "degraded_from": [],
+        }
+        payload["workers"].append("w9")
+        assert report.workers == ["w0"]  # to_dict copies, never aliases
+
+
+# ----------------------------------------------------------------------
+class FakeExecutor(Executor):
+    """Completes the first ``finish`` units, then fails (or finishes)."""
+
+    name = "fake"
+
+    def __init__(self, finish=None, error=None):
+        super().__init__()
+        self.finish = finish
+        self.error = error
+        self.calls = 0
+
+    def run(self, pending, state, *, chunk_size=None, on_chunk_done=None):
+        self.calls += 1
+        take = len(pending) if self.finish is None else self.finish
+        completed = {index: f"{self.name}:{index}" for index, _ in pending[:take]}
+        if self.error is not None:
+            raise ExecutorError(self.error, completed=completed)
+        return completed
+
+
+class TestExecuteWithFallback:
+    def test_first_success_short_circuits(self):
+        first, second = FakeExecutor(), FakeExecutor()
+        results, used = execute_with_fallback(
+            [first, second], units(4), {}
+        )
+        assert used is first
+        assert second.calls == 0
+        assert sorted(results) == [0, 1, 2, 3]
+
+    def test_partial_results_survive_degradation(self):
+        flaky = FakeExecutor(finish=2, error="boom")
+        backup = FakeExecutor()
+        with pytest.warns(RuntimeWarning, match="degrading to fake"):
+            results, used = execute_with_fallback(
+                [flaky, backup], units(5), {}
+            )
+        assert used is backup
+        # 0 and 1 kept from the flaky backend, only 2..4 re-dispatched
+        assert results[0] == "fake:0"
+        assert sorted(results) == [0, 1, 2, 3, 4]
+        assert used.report.degraded_from == ["fake"]
+
+    def test_degradations_are_counted(self):
+        registry = Registry()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            execute_with_fallback(
+                [FakeExecutor(finish=0, error="a"), FakeExecutor()],
+                units(3),
+                {},
+                obs=registry,
+            )
+        assert registry.counters()["exec.degraded"] == 1
+
+    def test_last_failure_propagates_with_merged_results(self):
+        first = FakeExecutor(finish=1, error="first down")
+        second = FakeExecutor(finish=1, error="second down")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            with pytest.raises(ExecutorError) as info:
+                execute_with_fallback([first, second], units(4), {})
+        # everything either backend completed rides on the final error
+        assert sorted(info.value.completed) == [0, 1]
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ExecutorError, match="empty"):
+            execute_with_fallback([], units(1), {})
+
+    def test_reports_reset_between_sweeps(self):
+        executor = FakeExecutor()
+        executor.report.workers.append("stale")
+        execute_with_fallback([executor], units(2), {})
+        assert executor.report.workers == []

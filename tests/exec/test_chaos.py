@@ -1,0 +1,97 @@
+"""Deterministic chaos: plans validate, monkeys replay exactly."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.exec import ChaosAction, ChaosMonkey, ChaosPlan
+
+
+class TestPlanValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"kill_rate": -0.1},
+            {"stall_rate": 1.5},
+            {"partition_rate": 2.0},
+            {"kill_rate": 0.5, "stall_rate": 0.4, "partition_rate": 0.2},
+            {"stall_seconds": -1.0},
+            {"max_events": -1},
+        ],
+    )
+    def test_rejects_bad_plans(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ChaosPlan(**kwargs)
+
+    def test_null_plans(self):
+        assert ChaosPlan().is_null()
+        assert ChaosPlan(kill_rate=0.5, max_events=0).is_null()
+        assert not ChaosPlan(kill_rate=0.5).is_null()
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            ChaosPlan().kill_rate = 0.5
+
+
+class TestMonkeyDeterminism:
+    def test_same_worker_replays_identically(self):
+        plan = ChaosPlan(kill_rate=0.3, stall_rate=0.3, seed=11)
+        stream_a = plan.monkey_for(2)
+        stream_b = plan.monkey_for(2)
+        assert [stream_a.decide() for _ in range(50)] == [
+            stream_b.decide() for _ in range(50)
+        ]
+
+    def test_workers_draw_independent_streams(self):
+        # streams come from (seed, ordinal) tuple entropy — over many
+        # draws two workers must not mirror each other
+        plan = ChaosPlan(kill_rate=0.5, seed=3)
+        monkey_a, monkey_b = plan.monkey_for(0), plan.monkey_for(1)
+        draws_a = [monkey_a.decide() for _ in range(64)]
+        draws_b = [monkey_b.decide() for _ in range(64)]
+        assert draws_a != draws_b
+
+    def test_rejects_negative_ordinal(self):
+        with pytest.raises(ConfigurationError):
+            ChaosMonkey(ChaosPlan(), -1)
+
+    def test_rates_partition_one_draw(self):
+        """With rates summing to 1, every action is a misbehaviour."""
+        plan = ChaosPlan(
+            kill_rate=0.4, stall_rate=0.3, partition_rate=0.3, seed=5
+        )
+        monkey = plan.monkey_for(0)
+        draws = [monkey.decide() for _ in range(32)]
+        assert ChaosAction.NONE not in draws
+        assert set(draws) <= {
+            ChaosAction.KILL,
+            ChaosAction.STALL,
+            ChaosAction.PARTITION,
+        }
+
+
+class TestMuzzling:
+    def test_muzzled_monkey_never_acts(self):
+        plan = ChaosPlan(kill_rate=1.0, max_events=1, seed=0)
+        quiet = plan.monkey_for(1)
+        assert [quiet.decide() for _ in range(16)] == [ChaosAction.NONE] * 16
+
+    def test_muzzled_monkey_still_advances_its_stream(self):
+        """The cap changes whether actions happen, never where they land."""
+        loud_plan = ChaosPlan(kill_rate=0.5, seed=9)
+        capped_plan = ChaosPlan(kill_rate=0.5, max_events=0, seed=9)
+        loud = loud_plan.monkey_for(0)
+        capped = capped_plan.monkey_for(0)
+        # consume the same number of draws from both, then unmuzzle by
+        # comparing the *next* draws of loud twins: the underlying
+        # uniform streams must agree draw for draw
+        assert capped.preview(8) == [ChaosAction.NONE] * 8
+        assert loud.preview(8) == loud_plan.monkey_for(0).preview(8)
+
+
+class TestPreview:
+    def test_preview_does_not_consume(self):
+        plan = ChaosPlan(kill_rate=0.5, seed=7)
+        monkey = plan.monkey_for(0)
+        before = monkey.preview(10)
+        assert monkey.preview(10) == before
+        assert [monkey.decide() for _ in range(10)] == before

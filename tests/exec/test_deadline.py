@@ -1,0 +1,115 @@
+"""Monotonic-deadline cancellation: main thread, worker threads, races."""
+
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.errors import TrialTimeoutError
+from repro.exec import trial_deadline
+from repro.exec.deadline import timeout_message
+
+
+class TestDisabled:
+    @pytest.mark.parametrize("budget", [None, 0, -1.0])
+    def test_no_budget_is_passthrough(self, budget):
+        with trial_deadline(budget):
+            pass  # no watchdog, no handler, no error
+
+    def test_fast_block_unaffected(self):
+        with trial_deadline(30.0):
+            total = sum(range(1000))
+        assert total == 499500
+
+
+class TestMainThread:
+    def test_sleeping_block_is_interrupted(self):
+        start = time.monotonic()
+        with pytest.raises(TrialTimeoutError, match="wall-clock budget"):
+            with trial_deadline(0.2):
+                time.sleep(30.0)
+        assert time.monotonic() - start < 5.0
+
+    def test_message_is_the_pinned_contract(self):
+        with pytest.raises(TrialTimeoutError) as info:
+            with trial_deadline(0.1):
+                time.sleep(10.0)
+        assert str(info.value) == timeout_message(0.1)
+
+    def test_previous_sigalrm_handler_restored(self):
+        sentinel = lambda signum, frame: None  # noqa: E731
+        previous = signal.signal(signal.SIGALRM, sentinel)
+        try:
+            with trial_deadline(30.0):
+                pass
+            assert signal.getsignal(signal.SIGALRM) is sentinel
+        finally:
+            signal.signal(signal.SIGALRM, previous)
+
+    def test_reusable_after_timeout(self):
+        with pytest.raises(TrialTimeoutError):
+            with trial_deadline(0.1):
+                time.sleep(10.0)
+        with trial_deadline(30.0):
+            pass  # the watchdog must be clean for the next block
+
+
+class TestWorkerThread:
+    def test_busy_thread_is_cancelled(self):
+        """Off the main thread SIGALRM is useless; the async-exc path
+        must cancel a busy loop and carry the same message."""
+        caught = {}
+
+        def busy():
+            try:
+                with trial_deadline(0.2):
+                    deadline = time.monotonic() + 30.0
+                    while time.monotonic() < deadline:
+                        sum(range(1000))  # stay at bytecode boundaries
+            except TrialTimeoutError as exc:
+                caught["error"] = str(exc)
+
+        thread = threading.Thread(target=busy)
+        thread.start()
+        thread.join(timeout=10.0)
+        assert not thread.is_alive()
+        assert caught["error"] == timeout_message(0.2)
+
+    def test_fast_worker_thread_unaffected(self):
+        outcome = {}
+
+        def quick():
+            with trial_deadline(30.0):
+                outcome["total"] = sum(range(1000))
+
+        thread = threading.Thread(target=quick)
+        thread.start()
+        thread.join(timeout=5.0)
+        assert outcome["total"] == 499500
+
+    def test_many_concurrent_deadlines(self):
+        """One watchdog serves every thread; only the slow one dies."""
+        errors = {}
+
+        def run(name, budget, work):
+            # short sleeps, not one long one: off-main-thread
+            # cancellation lands at bytecode boundaries only
+            try:
+                with trial_deadline(budget):
+                    deadline = time.monotonic() + work
+                    while time.monotonic() < deadline:
+                        time.sleep(0.01)
+                errors[name] = None
+            except TrialTimeoutError:
+                errors[name] = "timeout"
+
+        threads = [
+            threading.Thread(target=run, args=("fast", 10.0, 0.01)),
+            threading.Thread(target=run, args=("slow", 0.2, 30.0)),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert errors == {"fast": None, "slow": "timeout"}

@@ -1,0 +1,57 @@
+"""The shared retry policy: schedule, budget, validation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.exec import RetryPolicy
+
+
+class TestDelay:
+    def test_doubles_from_base(self):
+        policy = RetryPolicy(max_retries=4, backoff_base=0.5)
+        assert [policy.delay(a) for a in (1, 2, 3, 4)] == [0.5, 1.0, 2.0, 4.0]
+
+    def test_capped(self):
+        policy = RetryPolicy(max_retries=10, backoff_base=8.0, backoff_cap=10.0)
+        assert policy.delay(5) == 10.0
+
+    def test_zero_base_retries_immediately(self):
+        policy = RetryPolicy(backoff_base=0.0)
+        assert policy.delay(1) == 0.0
+        assert policy.delay(7) == 0.0
+
+    def test_attempts_are_one_based(self):
+        with pytest.raises(ConfigurationError, match="1-based"):
+            RetryPolicy().delay(0)
+
+
+class TestBudget:
+    def test_allows_within_budget(self):
+        policy = RetryPolicy(max_retries=2)
+        assert policy.allows(1) and policy.allows(2)
+        assert not policy.allows(3)
+
+    def test_zero_budget_never_retries(self):
+        assert not RetryPolicy(max_retries=0).allows(1)
+
+    def test_schedule_length_matches_budget(self):
+        policy = RetryPolicy(max_retries=3, backoff_base=1.0)
+        assert list(policy.schedule()) == [1.0, 2.0, 4.0]
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_retries": -1},
+            {"backoff_base": -0.1},
+            {"backoff_cap": -1.0},
+        ],
+    )
+    def test_rejects_negative_knobs(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(**kwargs)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            RetryPolicy().max_retries = 5

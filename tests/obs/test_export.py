@@ -6,7 +6,9 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.obs.export import (
+    Observations,
     diff_observations,
+    informational_differences,
     load_observations,
     observation_lines,
     render_summary,
@@ -151,3 +153,87 @@ class TestDiff:
         assert "manifest.seed_entropy" in report
         assert "counter engine.rounds" in report
         assert "counter billboard.posts_honest" in report
+
+
+class TestExecutorFieldIsReportingOnly:
+    """Which backend ran the trials never changes the results, so the
+    manifest's ``executor`` field must not flip a diff verdict — two
+    runs of one seed on different backends claim the same identity."""
+
+    @staticmethod
+    def _observations(executor):
+        from dataclasses import replace
+
+        manifest = replace(collect_manifest(seed=5), executor=executor)
+        return Observations(manifest=manifest, counters={"engine.rounds": 3})
+
+    def test_backend_difference_is_not_an_identity_diff(self):
+        serial = self._observations(
+            {"backend": "serial", "workers": [], "reassignments": []}
+        )
+        socket = self._observations(
+            {
+                "backend": "socket",
+                "workers": ["w0", "w1"],
+                "reassignments": [{"trials": [3]}],
+            }
+        )
+        assert diff_observations(serial, socket) == []
+
+    def test_backend_difference_is_reported_informationally(self):
+        serial = self._observations({"backend": "serial"})
+        socket = self._observations({"backend": "socket"})
+        notes = informational_differences(serial, socket)
+        assert len(notes) == 1
+        assert "manifest.executor" in notes[0]
+        assert "reporting only" in notes[0]
+
+    def test_identical_executors_have_no_notes(self):
+        a = self._observations({"backend": "socket"})
+        b = self._observations({"backend": "socket"})
+        assert informational_differences(a, b) == []
+
+    def test_real_differences_still_flagged(self):
+        from dataclasses import replace
+
+        a = self._observations({"backend": "serial"})
+        b = Observations(
+            manifest=replace(
+                collect_manifest(seed=6),
+                executor={"backend": "socket"},
+            ),
+            counters={"engine.rounds": 4},
+        )
+        report = "\n".join(diff_observations(a, b))
+        assert "manifest.seed_entropy" in report
+        assert "counter engine.rounds" in report
+        assert "manifest.executor" not in report
+
+    def test_exec_counters_are_not_an_identity_diff(self):
+        """A serial run records no exec.* counters; a socket run records
+        its worker roster and losses. Same computation, so no verdict."""
+        serial = self._observations({"backend": "serial"})
+        socket = Observations(
+            manifest=serial.manifest,
+            counters={
+                "engine.rounds": 3,
+                "exec.workers": 2,
+                "exec.worker_lost": 1,
+                "exec.reassigned": 1,
+            },
+        )
+        assert diff_observations(serial, socket) == []
+        notes = "\n".join(informational_differences(serial, socket))
+        assert "counter exec.workers (reporting only)" in notes
+        assert "counter exec.worker_lost (reporting only)" in notes
+
+    def test_non_exec_counter_differences_still_flag(self):
+        a = self._observations({"backend": "serial"})
+        b = Observations(
+            manifest=a.manifest,
+            counters={"engine.rounds": 3, "exec.workers": 2,
+                      "trial.completed": 9},
+        )
+        report = "\n".join(diff_observations(a, b))
+        assert "counter trial.completed" in report
+        assert "exec.workers" not in report

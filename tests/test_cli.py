@@ -203,6 +203,29 @@ class TestObsCommand:
         assert main(["obs", "diff", path_a, path_b]) == 1
         assert "seed_entropy" in capsys.readouterr().out
 
+    def test_diff_across_backends_exits_zero_with_note(self, tmp_path, capsys):
+        """Same seed on different executor backends: identical results,
+        identical identity — the backend difference (manifest field and
+        exec.* counters alike) is a note, not a verdict."""
+        path_serial = tmp_path / "serial.jsonl"
+        path_socket = tmp_path / "socket.jsonl"
+        base = [
+            "run", "--n", "64", "--trials", "4", "--adversary", "none",
+            "--seed", "3",
+        ]
+        assert main(
+            base + ["--executor", "serial", "--obs-out", str(path_serial)]
+        ) == 0
+        assert main(
+            base + ["--executor", "socket", "--obs-out", str(path_socket)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["obs", "diff", str(path_serial), str(path_socket)]) == 0
+        out = capsys.readouterr().out
+        assert "match" in out
+        assert "note: manifest.executor" in out
+        assert "note: counter exec.workers" in out
+
     def test_missing_file_is_clean_error(self, capsys):
         assert main(["obs", "summary", "/no/such/file.jsonl"]) == 2
         assert "error" in capsys.readouterr().err
