@@ -96,7 +96,7 @@ from repro.world import (
     valued_instance,
 )
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "Adversary",

@@ -15,11 +15,24 @@ The components are:
   (Section 4.1), or the mutable best-so-far vote (Section 5.3).
 * :class:`~repro.billboard.views.BillboardView` — the read-only window a
   player or adversary is handed during a round.
+* :class:`~repro.billboard.sparse.SparseBoard` /
+  :class:`~repro.billboard.sparse.SparseVoteLedger` — the sparse columnar
+  substrate for population-scale worlds (``substrate="sparse"``), bit-
+  identical to the dense board/ledger for every query.
 """
 
 from repro.billboard.board import Billboard
 from repro.billboard.lanes import LaneBillboard, LaneBoard
 from repro.billboard.post import Post, PostKind
+from repro.billboard.sparse import (
+    SPARSE_AUTO_THRESHOLD,
+    SUBSTRATE_CHOICES,
+    SparseBoard,
+    SparseVoteLedger,
+    choose_substrate,
+    normalize_substrate,
+    substrate_fallback_reason,
+)
 from repro.billboard.views import BillboardView
 from repro.billboard.votes import VoteLedger, VoteMode
 
@@ -30,6 +43,13 @@ __all__ = [
     "LaneBoard",
     "Post",
     "PostKind",
+    "SPARSE_AUTO_THRESHOLD",
+    "SUBSTRATE_CHOICES",
+    "SparseBoard",
+    "SparseVoteLedger",
     "VoteLedger",
     "VoteMode",
+    "choose_substrate",
+    "normalize_substrate",
+    "substrate_fallback_reason",
 ]

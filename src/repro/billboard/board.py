@@ -153,6 +153,9 @@ class Billboard:
         (all-or-nothing), and the per-call overhead of stamping and
         digest bookkeeping is amortized over the batch.
 
+        An empty batch is an explicit no-op: nothing is validated, the
+        board (and its hash chain) is untouched, and ``[]`` is returned.
+
         Raises
         ------
         InvalidPostError, TamperError

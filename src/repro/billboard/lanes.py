@@ -29,6 +29,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.billboard.post import Post, PostKind
+from repro.billboard.sparse import SparseVoteLedger, normalize_substrate
 from repro.billboard.votes import VoteLedger, VoteMode
 from repro.errors import ConfigurationError, InvalidPostError, TamperError
 
@@ -61,7 +62,11 @@ class _Column:
         self._size = needed
 
     def view(self) -> np.ndarray:
-        return self._buf[: self._size]
+        """Zero-copy read-only window onto the filled prefix (see
+        :meth:`~repro.billboard.votes._IntColumn.view`)."""
+        window = self._buf[: self._size]
+        window.flags.writeable = False
+        return window
 
 
 class LaneBoard:
@@ -92,10 +97,21 @@ class LaneBoard:
         n_objects: int,
         vote_mode: VoteMode = VoteMode.SINGLE,
         max_votes_per_player: int = 1,
+        substrate: str = "dense",
     ) -> None:
         self.n_players = n_players
         self.n_objects = n_objects
-        self.ledger = VoteLedger(
+        # The lane board's post log is already columnar; the substrate
+        # knob selects the *ledger* representation — the dense ledger's
+        # O(n) per-player state vs the object-sharded sparse ledger.
+        # Both are bit-identical for every query (the equivalence grid
+        # pins this), so the choice never affects results.
+        ledger_cls = (
+            SparseVoteLedger
+            if normalize_substrate(substrate) == "sparse"
+            else VoteLedger
+        )
+        self.ledger: "VoteLedger | SparseVoteLedger" = ledger_cls(
             n_players,
             n_objects,
             mode=vote_mode,
@@ -283,6 +299,7 @@ class LaneBillboard:
         n_objects: int,
         vote_mode: VoteMode = VoteMode.SINGLE,
         max_votes_per_player: int = 1,
+        substrate: str = "dense",
     ) -> None:
         if n_lanes < 1:
             raise ConfigurationError(f"need at least one lane, got {n_lanes}")
@@ -293,6 +310,7 @@ class LaneBillboard:
                 n_objects,
                 vote_mode=vote_mode,
                 max_votes_per_player=max_votes_per_player,
+                substrate=substrate,
             )
             for _ in range(n_lanes)
         ]

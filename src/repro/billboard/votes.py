@@ -37,18 +37,21 @@ from repro.billboard.post import Post
 
 
 class _IntColumn:
-    """A growable ``int64`` column with amortized O(1) appends.
+    """A growable typed column with amortized O(1) appends.
 
     The ledger stores its effective-vote log as three of these (rounds,
     players, objects) so that every query is a vectorized slice instead of
     a Python walk. :meth:`view` returns a zero-copy window onto the filled
-    prefix; callers must not mutate it.
+    prefix; callers must not mutate it. The default ``int64`` matches the
+    dense ledger's arithmetic; the sparse substrate passes narrower
+    dtypes (``int32`` ids, ``float64`` values, ``int8`` kinds) to keep
+    million-post logs compact.
     """
 
     __slots__ = ("_buf", "_size")
 
-    def __init__(self, capacity: int = 64) -> None:
-        self._buf = np.empty(max(int(capacity), 1), dtype=np.int64)
+    def __init__(self, capacity: int = 64, dtype=np.int64) -> None:
+        self._buf = np.empty(max(int(capacity), 1), dtype=dtype)
         self._size = 0
 
     def __len__(self) -> int:
@@ -72,13 +75,21 @@ class _IntColumn:
         capacity = self._buf.shape[0]
         while capacity < needed:
             capacity *= 2
-        grown = np.empty(capacity, dtype=np.int64)
+        grown = np.empty(capacity, dtype=self._buf.dtype)
         grown[: self._size] = self._buf[: self._size]
         self._buf = grown
 
     def view(self) -> np.ndarray:
-        """Zero-copy read-only window onto the filled prefix."""
-        return self._buf[: self._size]
+        """Zero-copy read-only window onto the filled prefix.
+
+        The window is marked non-writeable so out-of-API mutation fails
+        loudly (``ValueError``) instead of silently corrupting the vote
+        accounting; the flag lives on the returned view only — the
+        ledger keeps writing through its own buffer reference.
+        """
+        window = self._buf[: self._size]
+        window.flags.writeable = False
+        return window
 
 
 class VoteMode(enum.Enum):
@@ -207,6 +218,9 @@ class VoteLedger:
         the whole block is resolved vectorized — this is the batched
         engine's hot path for adversaries that flood thousands of votes in
         one round. The other modes fall back to the per-post rule.
+
+        An empty block is an explicit no-op: no state is touched, the
+        memo survives, and an empty boolean mask is returned.
         """
         players = np.asarray(players, dtype=np.int64)
         objects = np.asarray(objects, dtype=np.int64)
@@ -215,6 +229,8 @@ class VoteLedger:
                 "record_block needs parallel player/object arrays, got "
                 f"shapes {players.shape} and {objects.shape}"
             )
+        if players.size == 0:
+            return np.zeros(0, dtype=bool)
         if self.mode is not VoteMode.SINGLE or players.size < 2:
             return np.array(
                 [

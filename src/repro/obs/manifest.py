@@ -33,8 +33,9 @@ from dataclasses import asdict, dataclass, field, fields, is_dataclass
 from typing import Any, Dict, Mapping, Optional, Tuple
 
 #: bump when a field is added/renamed/removed; readers check it
-#: (2: added ``batch_fallback_reason``; 3: added ``executor``)
-SCHEMA_VERSION = 3
+#: (2: added ``batch_fallback_reason``; 3: added ``executor``;
+#: 4: added ``substrate``)
+SCHEMA_VERSION = 4
 
 
 def _canonical_json(payload: Any) -> str:
@@ -154,6 +155,14 @@ class RunManifest:
         identity**: two runs of the same seed on different backends
         produce identical results, so ``repro obs diff`` reports this
         field informationally and excludes it from its verdict.
+    substrate:
+        The billboard storage substrate the sweep requested (``"auto"``,
+        ``"dense"``, or ``"sparse"`` — see
+        :mod:`repro.billboard.sparse`), or ``None`` when the caller left
+        the knob at its default. Like ``executor``, this is
+        **reporting, not identity**: the substrate is bit-inert, so
+        ``repro obs diff`` shows it informationally and excludes it
+        from its verdict.
     versions:
         ``{"python": ..., "numpy": ..., "repro": ...}``.
     host:
@@ -170,6 +179,7 @@ class RunManifest:
     fault_plan_digest: Optional[str] = None
     batch_fallback_reason: Optional[str] = None
     executor: Optional[Dict[str, Any]] = None
+    substrate: Optional[str] = None
     versions: Dict[str, str] = field(default_factory=dict)
     host: Dict[str, Any] = field(default_factory=dict)
     git_rev: Optional[str] = None
@@ -221,6 +231,7 @@ def collect_manifest(
     config_payload: Optional[Any] = None,
     batch_fallback_reason: Optional[str] = None,
     executor: Optional[Dict[str, Any]] = None,
+    substrate: Optional[str] = None,
 ) -> RunManifest:
     """Build a :class:`RunManifest` for the current process.
 
@@ -233,7 +244,8 @@ def collect_manifest(
     ``batch_lanes`` request (``None``: no degradation happened).
     ``executor`` is the execution fabric's report dict
     (:meth:`repro.exec.base.ExecutorReport.to_dict`; ``None``: no
-    trials were dispatched).
+    trials were dispatched). ``substrate`` is the billboard storage
+    knob the caller requested (``None``: knob left at its default).
     """
     from repro.rng import make_seed_sequence
 
@@ -253,6 +265,7 @@ def collect_manifest(
         fault_plan_digest=fault_plan_digest(fault_plan),
         batch_fallback_reason=batch_fallback_reason,
         executor=executor,
+        substrate=substrate,
         versions=dict(versions),
         host=dict(host),
         git_rev=git_rev,

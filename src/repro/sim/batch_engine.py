@@ -45,6 +45,7 @@ import numpy as np
 
 from repro.billboard.lanes import LaneBillboard
 from repro.billboard.post import PostKind
+from repro.billboard.sparse import choose_substrate
 from repro.billboard.views import BillboardView
 from repro.errors import (
     AdversaryViolationError,
@@ -58,6 +59,7 @@ from repro.sim.metrics import RunMetrics
 from repro.strategies.base import StrategyContext
 from repro.strategies.batched import BatchedStrategy
 from repro.world.instance import Instance
+from repro.world.playerstate import player_array
 from repro.world.valuemodel import TrueValueModel, ValueModel
 
 if TYPE_CHECKING:  # imported lazily to avoid a package-level cycle
@@ -115,6 +117,12 @@ class BatchedEngine:
         Optional :class:`~repro.obs.registry.Registry` the run increments
         ``batch.*`` event counters into. Counters only (no clock reads in
         ``sim``); results are bit-identical with or without it.
+    substrate:
+        Ledger storage selection per lane board — ``"dense"``,
+        ``"sparse"``, or ``"auto"``/``None`` (sparse at or above
+        :data:`~repro.billboard.sparse.SPARSE_AUTO_THRESHOLD` players).
+        Bit-inert; the batched engine never traces, so no fallback
+        exists on this path.
     """
 
     def __init__(
@@ -129,6 +137,7 @@ class BatchedEngine:
         ctxs: Optional[Sequence[Optional[StrategyContext]]] = None,
         faults: Optional["BatchedFaultInjector"] = None,
         obs: Optional["Registry"] = None,
+        substrate: Optional[str] = None,
     ) -> None:
         if not instances:
             raise ConfigurationError("BatchedEngine needs at least one lane")
@@ -177,15 +186,14 @@ class BatchedEngine:
                 ctxs if ctxs is not None else [None] * self.n_lanes,
             )
         ]
+        self.substrate = choose_substrate(substrate, shape[0])
         self.boards = LaneBillboard(
             self.n_lanes,
             shape[0],
             shape[1],
             vote_mode=self.config.vote_mode,
             max_votes_per_player=self.config.max_votes_per_player,
-        )
-        self._dishonest_mask = np.stack(
-            [~inst.honest_mask for inst in self.instances]
+            substrate=self.substrate,
         )
         if faults is not None and faults.n_lanes != self.n_lanes:
             raise ConfigurationError(
@@ -215,19 +223,36 @@ class BatchedEngine:
 
         probes = np.zeros((K, n), dtype=np.int64)
         paid = np.zeros((K, n), dtype=np.float64)
-        satisfied_round = np.full((K, n), -1, dtype=np.int64)
-        halted_round = np.full((K, n), -1, dtype=np.int64)
-        active = np.stack([inst.honest_mask.copy() for inst in self.instances])
+        satisfied_round = player_array((K, n), -1, np.int64)
+        halted_round = player_array((K, n), -1, np.int64)
         alive = np.ones(K, dtype=bool)
         rounds_out = np.zeros(K, dtype=np.int64)
 
         faults = self.faults
         value_models = self.value_models
-        #: round at which each crashed player restarts (-1: not down)
-        down_until = np.full((K, n), -1, dtype=np.int64)
         if faults is not None:
+            # Faulted lanes keep the (K, n) mask representation: the
+            # batched injector scatters crashes/restarts into the shared
+            # masks directly, so the engine cannot maintain incremental
+            # id sets without re-deriving them anyway.
+            active = np.stack(
+                [inst.honest_mask.copy() for inst in self.instances]
+            )
+            #: round at which each crashed player restarts (-1: not down)
+            down_until = player_array((K, n), -1, np.int64)
+            lane_active_ids: List[np.ndarray] = []
             faults.reset()
             value_models = faults.wrap_value_models(value_models)
+        else:
+            # Fault-free lanes track sorted active id arrays maintained
+            # incrementally (halts are the only membership change), so a
+            # round costs O(players that act), not O(K * n). The ids are
+            # bit-identical to the flatnonzero scans they replace.
+            active = None
+            down_until = None
+            lane_active_ids = [
+                inst.honest_ids.copy() for inst in self.instances
+            ]
 
         self.strategy.reset_lanes(self.ctxs, self.rngs)
         if self.adversary is not None:
@@ -237,6 +262,7 @@ class BatchedEngine:
         if obs is not None:
             obs.counter("batch.runs").add()
             obs.counter("batch.lanes").add(K)
+            obs.counter(f"substrate.{self.substrate}").add(K)
             count_rounds = obs.counter("batch.rounds").add
             count_lane_rounds = obs.counter("batch.lane_rounds").add
             count_probes = obs.counter("batch.probes").add
@@ -261,7 +287,14 @@ class BatchedEngine:
             lanes: List[int] = []
             for k in np.flatnonzero(alive):
                 k = int(k)
-                if not active[k].any() and not (down_until[k] >= 0).any():
+                if faults is not None:
+                    done = (
+                        not active[k].any()
+                        and not (down_until[k] >= 0).any()
+                    )
+                else:
+                    done = lane_active_ids[k].size == 0
+                if done:
                     alive[k] = False
                     rounds_out[k] = round_no
                 elif self.strategy.finished(k, round_no):
@@ -285,10 +318,10 @@ class BatchedEngine:
                 # strategy calls, but the adversary still acts and the
                 # round still counts (the scalar engine's idle path)
                 probe_lanes = [k for k in lanes if active[k].any()]
+                actives = [np.flatnonzero(active[k]) for k in probe_lanes]
             else:
                 probe_lanes = lanes
-
-            actives = [np.flatnonzero(active[k]) for k in probe_lanes]
+                actives = [lane_active_ids[k] for k in probe_lanes]
             views = [
                 BillboardView(self.boards.lane(k), before_round=round_no)
                 for k in probe_lanes
@@ -410,9 +443,15 @@ class BatchedEngine:
                                 PostKind.REPORT,
                             )
                     halters = probers[halt_mask]
-                    active[k, halters] = False
+                    if faults is not None:
+                        active[k, halters] = False
+                        # a halted player can no longer be pending restart
+                        down_until[k, halters] = -1
+                    elif halters.size:
+                        lane_active_ids[k] = np.setdiff1d(
+                            lane_active_ids[k], halters, assume_unique=True
+                        )
                     halted_round[k, halters] = round_no
-                    down_until[k, halters] = -1
 
             if self.adversary is not None:
                 for k in lanes:
@@ -445,11 +484,11 @@ class BatchedEngine:
         actions = self.adversary.act(lane, round_no, full_view)
         if not actions:
             return
-        dishonest = self._dishonest_mask[lane]
+        honest = self.instances[lane].honest_mask
         entries = []
         for action in actions:
             player = int(action.player)
-            if not (0 <= player < dishonest.size) or not dishonest[player]:
+            if not (0 <= player < honest.size) or honest[player]:
                 raise AdversaryViolationError(
                     f"adversary {self.adversary.name!r} tried to post as "
                     f"player {action.player}, which it does not control"
@@ -475,12 +514,16 @@ class BatchedEngine:
     ) -> RunMetrics:
         inst = self.instances[k]
         sat_honest = satisfied_round[k][inst.honest_mask] >= 0
+        # np.array (not .copy()) detaches each lane row into a plain
+        # in-memory ndarray even when the (K, n) state is memmap-backed
+        # (see repro.world.playerstate), so metrics never reference an
+        # engine-lifetime temp-file mapping.
         return RunMetrics(
             honest_mask=inst.honest_mask.copy(),
-            probes=probes[k].copy(),
-            paid=paid[k].copy(),
-            satisfied_round=satisfied_round[k].copy(),
-            halted_round=halted_round[k].copy(),
+            probes=np.array(probes[k]),
+            paid=np.array(paid[k]),
+            satisfied_round=np.array(satisfied_round[k]),
+            halted_round=np.array(halted_round[k]),
             rounds=int(rounds_out[k]),
             all_honest_satisfied=bool(sat_honest.all()),
             strategy_info=self.strategy.info(k),

@@ -28,12 +28,17 @@ ground-truth good object), when the strategy declares itself finished
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 import numpy as np
 
 from repro.billboard.board import Billboard
 from repro.billboard.post import PostKind
+from repro.billboard.sparse import (
+    SparseBoard,
+    choose_substrate,
+    substrate_fallback_reason,
+)
 from repro.billboard.views import BillboardView
 from repro.billboard.votes import VoteMode
 from repro.errors import (
@@ -44,6 +49,7 @@ from repro.errors import (
 from repro.sim.metrics import RunMetrics
 from repro.strategies.base import Strategy, StrategyContext
 from repro.world.instance import Instance
+from repro.world.playerstate import finalize_player_array, player_array
 from repro.world.valuemodel import TrueValueModel, ValueModel
 
 if TYPE_CHECKING:  # imported lazily to avoid a package-level cycle
@@ -118,6 +124,15 @@ class SynchronousEngine:
         reprolint's wall-clock ban intact for ``sim``. ``None`` (default)
         costs one predicate check per instrumentation site and results
         are bit-identical either way.
+    substrate:
+        Billboard storage selection: ``"dense"`` (the chained
+        :class:`Billboard`), ``"sparse"`` (the columnar
+        :class:`~repro.billboard.sparse.SparseBoard`), or
+        ``"auto"``/``None`` (sparse at or above
+        :data:`~repro.billboard.sparse.SPARSE_AUTO_THRESHOLD` players).
+        Bit-inert: results are identical either way. Trace runs audit
+        the hash-chained dense board, so a sparse request degrades to
+        dense there (recorded in ``substrate.fallback``).
     """
 
     def __init__(
@@ -132,6 +147,7 @@ class SynchronousEngine:
         ctx: Optional[StrategyContext] = None,
         fault_injector: Optional["FaultInjector"] = None,
         obs: Optional["Registry"] = None,
+        substrate: Optional[str] = None,
     ) -> None:
         self.instance = instance
         self.strategy = strategy
@@ -155,13 +171,28 @@ class SynchronousEngine:
             beta=instance.beta,
             good_threshold=instance.space.good_threshold,
         )
-        self.board = Billboard(
-            instance.n,
-            instance.m,
-            vote_mode=self.config.vote_mode,
-            max_votes_per_player=self.config.max_votes_per_player,
-        )
-        self._dishonest_set = set(int(p) for p in instance.dishonest_ids)
+        resolved = choose_substrate(substrate, instance.n)
+        self.substrate_fallback: Optional[str] = None
+        if resolved == "sparse":
+            reason = substrate_fallback_reason(self.config)
+            if reason is not None:
+                self.substrate_fallback = reason
+                resolved = "dense"
+        self.substrate = resolved
+        if resolved == "sparse":
+            self.board: "Billboard | SparseBoard" = SparseBoard(
+                instance.n,
+                instance.m,
+                vote_mode=self.config.vote_mode,
+                max_votes_per_player=self.config.max_votes_per_player,
+            )
+        else:
+            self.board = Billboard(
+                instance.n,
+                instance.m,
+                vote_mode=self.config.vote_mode,
+                max_votes_per_player=self.config.max_votes_per_player,
+            )
         self.fault_injector = fault_injector
         self.obs = obs
         #: populated when ``config.trace`` is on
@@ -181,14 +212,24 @@ class SynchronousEngine:
 
         probes = np.zeros(n, dtype=np.int64)
         paid = np.zeros(n, dtype=np.float64)
-        satisfied_round = np.full(n, -1, dtype=np.int64)
-        halted_round = np.full(n, -1, dtype=np.int64)
-        active = inst.honest_mask.copy()  # honest players still probing
+        satisfied_round = player_array(n, -1, np.int64)
+        halted_round = player_array(n, -1, np.int64)
+        # The active set is kept as a sorted id array maintained
+        # incrementally (set-minus on crash/halt, union on restart), so
+        # a round's cost scales with the players that actually act —
+        # there is no per-round O(n) mask scan. The arrays stay
+        # bit-identical to the flatnonzero(active) scans they replace:
+        # every update preserves sorted unique ids.
+        active_ids = inst.honest_ids.copy()  # honest players still probing
 
         faults = self.fault_injector
         value_model = self.value_model
-        #: round at which each crashed player restarts (-1: not down)
-        down_until = np.full(n, -1, dtype=np.int64)
+        #: crashed players keyed by the round they restart in; crashed
+        #: players cannot probe or halt while down, so each entry stays
+        #: exact until its round arrives (restart_after is fixed, hence
+        #: at most one batch per restart round)
+        restart_at: Dict[int, np.ndarray] = {}
+        n_down = 0
         if faults is not None:
             faults.reset()
             value_model = faults.wrap_value_model(value_model)
@@ -201,6 +242,9 @@ class SynchronousEngine:
         # increment per event when observing, one predicate check when not.
         obs = self.obs
         if obs is not None:
+            obs.counter(f"substrate.{self.substrate}").add(1)
+            if self.substrate_fallback is not None:
+                obs.counter("substrate.fallback").add(1)
             count_round = obs.counter("engine.rounds").add
             count_probes = obs.counter("engine.probes").add
             count_votes = obs.counter("engine.votes").add
@@ -209,8 +253,18 @@ class SynchronousEngine:
         round_no = 0
         while round_no < self.config.max_rounds:
             if faults is not None:
-                self._fault_round_start(faults, round_no, active, down_until)
-            if not active.any() and not (down_until >= 0).any():
+                self._deliver_due_posts(faults, round_no)
+                restarts = restart_at.pop(round_no, None)
+                if restarts is not None:
+                    n_down -= restarts.size
+                    active_ids = np.union1d(active_ids, restarts)
+                    faults.note_restarts(restarts)
+                    self.strategy.on_player_restart(round_no, restarts)
+                    if self.trace is not None:
+                        self.trace.record(
+                            round_no, "fault_restart", players=restarts.tolist()
+                        )
+            if active_ids.size == 0 and n_down == 0:
                 break
             if self.strategy.finished(round_no):
                 break
@@ -219,21 +273,23 @@ class SynchronousEngine:
             if faults is not None:
                 # crashes land before probing: a player crashing in round
                 # r does not probe in round r
-                crashed = faults.crash_coins(round_no, np.flatnonzero(active))
+                crashed = faults.crash_coins(round_no, active_ids)
                 if crashed.size:
-                    active[crashed] = False
+                    active_ids = np.setdiff1d(
+                        active_ids, crashed, assume_unique=True
+                    )
                     if faults.plan.restart_after is None:
                         halted_round[crashed] = round_no
                     else:
-                        down_until[crashed] = (
-                            round_no + faults.plan.restart_after
+                        restart_at[round_no + faults.plan.restart_after] = (
+                            crashed
                         )
+                        n_down += crashed.size
                     if self.trace is not None:
                         self.trace.record(
                             round_no, "fault_crash", players=crashed.tolist()
                         )
 
-            active_ids = np.flatnonzero(active)
             if active_ids.size == 0:
                 # everyone is down awaiting restart; the world idles
                 if self.adversary is not None:
@@ -317,10 +373,13 @@ class SynchronousEngine:
                 halters = probers[halt_mask]
                 if obs is not None and halters.size:
                     count_halts(int(halters.size))
-                active[halters] = False
+                if halters.size:
+                    # halters probed this round, so they are active —
+                    # never pending a restart
+                    active_ids = np.setdiff1d(
+                        active_ids, halters, assume_unique=True
+                    )
                 halted_round[halters] = round_no
-                # a halted player can no longer be pending a restart
-                down_until[halters] = -1
                 if self.trace is not None and halters.size:
                     self.trace.record(
                         round_no, "halt", players=halters.tolist()
@@ -346,10 +405,10 @@ class SynchronousEngine:
         sat_honest = satisfied_round[inst.honest_mask] >= 0
         return RunMetrics(
             honest_mask=inst.honest_mask.copy(),
-            probes=probes,
-            paid=paid,
-            satisfied_round=satisfied_round,
-            halted_round=halted_round,
+            probes=finalize_player_array(probes),
+            paid=finalize_player_array(paid),
+            satisfied_round=finalize_player_array(satisfied_round),
+            halted_round=finalize_player_array(halted_round),
             rounds=round_no,
             all_honest_satisfied=bool(sat_honest.all()),
             strategy_info=self.strategy.info(),
@@ -358,15 +417,15 @@ class SynchronousEngine:
         )
 
     # ------------------------------------------------------------------
-    def _fault_round_start(
-        self,
-        faults: "FaultInjector",
-        round_no: int,
-        active: np.ndarray,
-        down_until: np.ndarray,
+    def _deliver_due_posts(
+        self, faults: "FaultInjector", round_no: int
     ) -> None:
-        """Round-start fault effects: deliver delayed posts, restart
-        crashed players whose downtime has elapsed."""
+        """Round-start fault effect: deliver delayed posts landing now.
+
+        (Restarts — the other round-start effect — are handled inline in
+        :meth:`run` from the restart schedule, so an idle round costs no
+        per-player scan.)
+        """
         due = faults.due_posts(round_no)
         if due:
             self.board.append_many(round_no, due)
@@ -383,16 +442,6 @@ class SynchronousEngine:
                         object=int(object_id),
                         post_kind=kind.value,
                     )
-        restarts = np.flatnonzero(down_until == round_no)
-        if restarts.size:
-            down_until[restarts] = -1
-            active[restarts] = True
-            faults.note_restarts(restarts)
-            self.strategy.on_player_restart(round_no, restarts)
-            if self.trace is not None:
-                self.trace.record(
-                    round_no, "fault_restart", players=restarts.tolist()
-                )
 
     # ------------------------------------------------------------------
     def _post_honest(
@@ -468,9 +517,14 @@ class SynchronousEngine:
         actions = self.adversary.act(round_no, full_view)
         if not actions:
             return
+        # Identity check against the honest mask directly — a set of
+        # dishonest ids would be O(n) resident state per engine.
+        honest_mask = self.instance.honest_mask
+        n = self.instance.n
         entries = []
         for action in actions:
-            if int(action.player) not in self._dishonest_set:
+            player = int(action.player)
+            if not 0 <= player < n or honest_mask[player]:
                 raise AdversaryViolationError(
                     f"adversary {self.adversary.name!r} tried to post as "
                     f"player {action.player}, which it does not control"

@@ -75,6 +75,7 @@ from typing import (
 
 import numpy as np
 
+from repro.billboard.sparse import normalize_substrate
 from repro.errors import CheckpointError, ConfigurationError, TrialTimeoutError
 from repro.exec import (
     Executor,
@@ -194,6 +195,7 @@ def _execute_trial(
     keep_metrics: bool,
     fault_plan: Optional[FaultPlan] = None,
     timeout: Optional[float] = None,
+    substrate: Optional[str] = None,
     obs: Optional[Registry] = None,
 ) -> _TrialRecord:
     """Run one trial from its dedicated rng factory.
@@ -230,6 +232,7 @@ def _execute_trial(
             ctx=ctx,
             fault_injector=injector,
             obs=obs,
+            substrate=substrate,
         )
         result = engine.run()
         if obs is not None:
@@ -420,6 +423,7 @@ def _execute_trial_batch(
     keep_metrics: bool,
     fault_plan: Optional[FaultPlan] = None,
     timeout: Optional[float] = None,
+    substrate: Optional[str] = None,
     obs: Optional[Registry] = None,
 ) -> List[Tuple[int, _TrialRecord]]:
     """Run one group of trials as lanes of a single :class:`BatchedEngine`.
@@ -476,6 +480,7 @@ def _execute_trial_batch(
             ctxs=ctxs,
             faults=faults,
             obs=obs,
+            substrate=substrate,
         )
         metrics = engine.run()
     if obs is not None:
@@ -526,6 +531,7 @@ def _execute_grid_group(
     config: Optional[EngineConfig],
     keep_metrics: bool,
     timeout: Optional[float],
+    substrate: Optional[str],
     obs: Optional[Registry],
 ) -> List[_TrialRecord]:
     """Run one mixed-cell lane group through a single :class:`BatchedEngine`.
@@ -605,6 +611,7 @@ def _execute_grid_group(
             ctxs=ctxs,
             faults=faults,
             obs=obs,
+            substrate=substrate,
         )
         metrics = engine.run()
     if obs is not None:
@@ -626,6 +633,7 @@ def run_trial_grid(
     batch_lanes: Optional[int] = None,
     keep_metrics: bool = False,
     timeout: Optional[float] = None,
+    substrate: Optional[str] = None,
     obs: Optional[Registry] = None,
 ) -> List[TrialResults]:
     """Run a grid of experiment cells with cross-cell lane packing.
@@ -637,7 +645,8 @@ def run_trial_grid(
     one :class:`~repro.sim.batch_engine.BatchedEngine`. Lanes carry
     their cell's own alpha/beta (via the instance), strategy, adversary,
     and fault plan; all cells must share ``(n, m)`` (the engine enforces
-    this) and the grid shares one ``config``.
+    this) and the grid shares one ``config`` and one ``substrate`` knob
+    (bit-inert — see :func:`run_trials`).
 
     Returns one :class:`TrialResults` per cell, in cell order, each
     bit-identical — ``per_trial`` arrays, kept metrics, ``fault_info``,
@@ -667,6 +676,11 @@ def run_trial_grid(
         raise ConfigurationError(
             f"batch_lanes must be a positive integer, got {batch_lanes!r}"
         )
+    # Validate once up front (and normalize for the manifests below) so a
+    # bad knob fails before any trial runs, on every path.
+    substrate_label = (
+        None if substrate is None else normalize_substrate(substrate)
+    )
     if lanes <= 1 or batch_fallback_reason(config, None) is not None:
         # Per-cell delegation: run_trials owns the fallback warning, the
         # batch.fallback counter, and the manifest reason in this path.
@@ -683,6 +697,7 @@ def run_trial_grid(
                 batch_lanes=batch_lanes,
                 fault_plan=cell.fault_plan,
                 timeout=timeout,
+                substrate=substrate,
                 obs=obs,
             )
             for cell in cells
@@ -710,7 +725,8 @@ def run_trial_grid(
             group = units[start : start + lanes]
             try:
                 records = _execute_grid_group(
-                    group, cells, config, keep_metrics, timeout, registry
+                    group, cells, config, keep_metrics, timeout, substrate,
+                    registry,
                 )
             except TrialTimeoutError as exc:
                 labels = ", ".join(
@@ -742,6 +758,7 @@ def run_trial_grid(
                     n_trials=cell.n_trials,
                     config=config,
                     fault_plan=cell.fault_plan,
+                    substrate=substrate_label,
                 ),
             )
         )
@@ -883,6 +900,7 @@ def run_trials(
     checkpoint_path: Optional[str] = None,
     executor: Union[str, Executor, None] = None,
     executor_fallback: bool = True,
+    substrate: Optional[str] = None,
     obs: Optional[Registry] = None,
 ) -> TrialResults:
     """Run ``n_trials`` independent simulations and aggregate summaries.
@@ -958,6 +976,16 @@ def run_trials(
         :class:`~repro.errors.ExecutorError` propagate (completed
         trials are already checkpointed when ``checkpoint_path`` is
         set, so an aborted sweep resumes cleanly).
+    substrate:
+        Billboard storage substrate for every trial's engine:
+        ``"dense"`` (the original per-player arrays), ``"sparse"`` (the
+        columnar sharded-ledger substrate that scales with *active*
+        players — see :mod:`repro.billboard.sparse`), or ``"auto"``
+        (``None`` too) to pick sparse at or above
+        :data:`~repro.billboard.sparse.SPARSE_AUTO_THRESHOLD` players.
+        The substrate is bit-inert: results are identical for every
+        choice (enforced by the sparse equivalence suite); the requested
+        knob is recorded in the manifest's ``substrate`` field.
     checkpoint_path:
         Incremental JSONL checkpoint of completed trials. If the file
         already exists (same seed and trial count — anything else raises
@@ -986,6 +1014,11 @@ def run_trials(
         raise ConfigurationError(
             f"max_retries must be >= 0, got {max_retries}"
         )
+    # Validate the substrate knob before any work is dispatched; the
+    # normalized label (None stays None) is what the manifest records.
+    substrate_label = (
+        None if substrate is None else normalize_substrate(substrate)
+    )
     jobs = resolve_n_jobs(n_jobs)
 
     global _BATCH_FALLBACK_WARNED
@@ -1048,6 +1081,7 @@ def run_trials(
         keep_metrics=keep_metrics,
         fault_plan=fault_plan,
         timeout=timeout,
+        substrate=substrate,
         obs=registry,
     )
     if lanes > 1:
@@ -1103,6 +1137,7 @@ def run_trials(
         fault_plan=fault_plan,
         batch_fallback_reason=fallback_reason,
         executor=executor_report,
+        substrate=substrate_label,
     )
     if registry is not None:
         registry.manifest = manifest

@@ -32,8 +32,15 @@ class Instance:
 
     space: ObjectSpace
     honest_mask: np.ndarray
-    _honest_ids: np.ndarray = field(init=False, repr=False)
-    _dishonest_ids: np.ndarray = field(init=False, repr=False)
+    # Role id arrays are derived lazily: at n=10^6 the two flatnonzero
+    # results cost 16 MB that many callers (notably the batched engine,
+    # which works from the mask) never touch.
+    _honest_ids: Optional[np.ndarray] = field(
+        init=False, repr=False, default=None
+    )
+    _dishonest_ids: Optional[np.ndarray] = field(
+        init=False, repr=False, default=None
+    )
 
     def __post_init__(self) -> None:
         self.honest_mask = np.asarray(self.honest_mask, dtype=bool)
@@ -43,8 +50,6 @@ class Instance:
             raise ConfigurationError(
                 "an instance needs at least one honest player (alpha > 0)"
             )
-        self._honest_ids = np.flatnonzero(self.honest_mask)
-        self._dishonest_ids = np.flatnonzero(~self.honest_mask)
 
     # ------------------------------------------------------------------
     @property
@@ -69,21 +74,25 @@ class Instance:
 
     @property
     def honest_ids(self) -> np.ndarray:
-        """Sorted ids of honest players."""
+        """Sorted ids of honest players (materialized on first access)."""
+        if self._honest_ids is None:
+            self._honest_ids = np.flatnonzero(self.honest_mask)
         return self._honest_ids
 
     @property
     def dishonest_ids(self) -> np.ndarray:
-        """Sorted ids of dishonest players."""
+        """Sorted ids of dishonest players (materialized on first access)."""
+        if self._dishonest_ids is None:
+            self._dishonest_ids = np.flatnonzero(~self.honest_mask)
         return self._dishonest_ids
 
     @property
     def n_honest(self) -> int:
-        return int(self._honest_ids.shape[0])
+        return int(self.honest_mask.sum())
 
     @property
     def n_dishonest(self) -> int:
-        return int(self._dishonest_ids.shape[0])
+        return self.n - self.n_honest
 
     def describe(self) -> str:
         """One-line human-readable summary."""
