@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.billboard.post import Post
+from repro.world.playerstate import player_array
 
 
 class _IntColumn:
@@ -156,10 +157,12 @@ class VoteLedger:
         self._votes_by_player: List[List[int]] = [[] for _ in range(n_players)]
 
         # Current advice target per player; -1 means "no vote yet".
-        self._current_vote = np.full(n_players, -1, dtype=np.int64)
+        # player_array keeps million-player ledgers memmap-backed, the
+        # same active-players-only budget the sparse substrate promises.
+        self._current_vote = player_array(n_players, -1, np.int64)
 
         # Effective-vote tally per player (vectorized votes_cast_by).
-        self._vote_counts = np.zeros(n_players, dtype=np.int64)
+        self._vote_counts = player_array(n_players, 0, np.int64)
 
         # Objects with >= 1 effective vote, in first-vote order.
         self._voted_objects: Dict[int, int] = {}
@@ -307,7 +310,7 @@ class VoteLedger:
         return result.copy()
 
     def _first_vote_array(self, cutoff: int) -> np.ndarray:
-        result = np.full(self.n_players, -1, dtype=np.int64)
+        result = player_array(self.n_players, -1, np.int64)
         players = self._players.view()[:cutoff]
         if players.size:
             uniq, first = np.unique(players, return_index=True)
@@ -315,7 +318,7 @@ class VoteLedger:
         return result
 
     def _last_vote_array(self, cutoff: int) -> np.ndarray:
-        result = np.full(self.n_players, -1, dtype=np.int64)
+        result = player_array(self.n_players, -1, np.int64)
         players = self._players.view()[:cutoff][::-1]
         if players.size:
             # First occurrence in the reversed column = last vote overall.

@@ -162,8 +162,8 @@ def run_worker(
         sock.close()
 
 
-def main(argv: Optional[list] = None) -> int:
-    """CLI entry point for external (e.g. SSH-launched) workers."""
+def build_parser() -> argparse.ArgumentParser:
+    """The worker CLI parser (importable so docs tests can pin flags)."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.exec.worker",
         description=(
@@ -185,6 +185,12 @@ def main(argv: Optional[list] = None) -> int:
             "environment variable)"
         ),
     )
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    """CLI entry point for external (e.g. SSH-launched) workers."""
+    parser = build_parser()
     args = parser.parse_args(argv)
     if not args.token:
         parser.error("--token (or REPRO_EXEC_TOKEN) is required")

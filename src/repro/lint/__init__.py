@@ -29,24 +29,29 @@ from repro.lint.baseline import (
     write_baseline,
 )
 from repro.lint.engine import (
+    DEFAULT_CACHE,
     DEFAULT_PATHS,
     LintError,
     Violation,
     lint_paths,
+    lint_project,
     lint_source,
 )
-from repro.lint.rules import RULES, Rule
+from repro.lint.rules import PROJECT_RULES, RULES, Rule
 
 __all__ = [
     "Baseline",
     "BaselineDrift",
+    "DEFAULT_CACHE",
     "DEFAULT_PATHS",
     "LintError",
+    "PROJECT_RULES",
     "RULES",
     "Rule",
     "Violation",
     "compare_to_baseline",
     "lint_paths",
+    "lint_project",
     "lint_source",
     "load_baseline",
     "write_baseline",

@@ -20,7 +20,7 @@ from __future__ import annotations
 import json
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Collection, Dict, List, Optional, Sequence
 
 from repro.lint.engine import LintError, Violation
 
@@ -106,10 +106,26 @@ def write_baseline(path: str, violations: Sequence[Violation]) -> int:
 
 
 def compare_to_baseline(
-    violations: Sequence[Violation], baseline: Baseline
+    violations: Sequence[Violation],
+    baseline: Baseline,
+    restrict_paths: Optional[Collection[str]] = None,
 ) -> BaselineDrift:
-    """Split current violations into baselined / new, and find stale debt."""
-    budget = Counter(baseline.counts)
+    """Split current violations into baselined / new, and find stale debt.
+
+    ``restrict_paths`` limits the comparison to baseline entries whose
+    fingerprint path is in the collection — the ``--diff`` mode, where
+    only changed files were linted, must not report entries for
+    *unlinted* files as stale.
+    """
+    counts = baseline.counts
+    if restrict_paths is not None:
+        allowed = set(restrict_paths)
+        counts = {
+            fingerprint: count
+            for fingerprint, count in counts.items()
+            if fingerprint.split("::", 1)[0] in allowed
+        }
+    budget = Counter(counts)
     drift = BaselineDrift()
     for violation in sorted(violations):
         if budget.get(violation.fingerprint, 0) > 0:

@@ -9,8 +9,9 @@ from __future__ import annotations
 
 import argparse
 import os
+import subprocess
 import sys
-from typing import List, Optional
+from typing import List, Optional, Set
 
 from repro.lint.baseline import (
     BaselineDrift,
@@ -18,8 +19,14 @@ from repro.lint.baseline import (
     load_baseline,
     write_baseline,
 )
-from repro.lint.engine import DEFAULT_PATHS, LintError, lint_paths
+from repro.lint.engine import (
+    DEFAULT_CACHE,
+    DEFAULT_PATHS,
+    LintError,
+    lint_project,
+)
 from repro.lint.report import render_json, render_rules, render_text
+from repro.lint.rules import PROJECT_RULES
 
 #: discovered automatically in the working directory when --baseline is
 #: not given, so `python -m repro.lint src tests` run from the repo root
@@ -31,10 +38,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.lint",
         description=(
-            "reprolint: AST-level enforcement of the repo's determinism "
-            "contract (seeded, spawn-derived rng streams; no wall-clock "
-            "or hash-order dependence in engine packages; batched-parity "
-            "stream discipline)"
+            "reprolint: project-wide enforcement of the repo's "
+            "determinism contract — per-file AST rules (seeded, "
+            "spawn-derived rng streams; no wall-clock or hash-order "
+            "dependence in engine packages) plus cross-file analysis of "
+            "rng stream flow, config-knob trios, the obs counter "
+            "registry, and batched/scalar hook parity"
         ),
     )
     parser.add_argument(
@@ -78,11 +87,67 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule codes to run (default: all)",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "parse files with N worker processes (default: 1; only "
+            "cache-miss files are parsed either way)"
+        ),
+    )
+    parser.add_argument(
+        "--diff",
+        default=None,
+        metavar="REF",
+        help=(
+            "report only files changed vs the given git ref (plus all "
+            "cross-file findings). The project model still covers every "
+            "path, so cross-file rules see the whole tree."
+        ),
+    )
+    parser.add_argument(
+        "--cache",
+        default=DEFAULT_CACHE,
+        metavar="FILE",
+        help=(
+            "incremental cache file keyed by content hash "
+            f"(default: {DEFAULT_CACHE}; gitignored, safe to delete)"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="neither read nor write the incremental cache",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print every rule code with its rationale and exit",
     )
     return parser
+
+
+def _changed_files(ref: str) -> Set[str]:
+    """Files changed vs ``ref`` plus untracked files, repo-relative."""
+    changed: Set[str] = set()
+    for args in (
+        ["git", "diff", "--name-only", ref, "--"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        try:
+            proc = subprocess.run(
+                args, capture_output=True, text=True, check=True
+            )
+        except (OSError, subprocess.CalledProcessError) as exc:
+            detail = getattr(exc, "stderr", "") or str(exc)
+            raise LintError(
+                f"--diff {ref}: {' '.join(args)} failed: {detail.strip()}"
+            ) from None
+        changed.update(
+            line.strip() for line in proc.stdout.splitlines() if line.strip()
+        )
+    return changed
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -91,6 +156,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.list_rules:
         sys.stdout.write(render_rules())
         return 0
+    if args.write_baseline and args.diff:
+        parser.error("--write-baseline needs a full run, not --diff")
 
     select = (
         [code.strip() for code in args.select.split(",") if code.strip()]
@@ -104,9 +171,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     if args.no_baseline:
         baseline_path = None
+    cache_path = None if args.no_cache else args.cache
 
     try:
-        violations = lint_paths(args.paths, select=select)
+        violations = lint_project(
+            args.paths,
+            select=select,
+            jobs=max(1, args.jobs),
+            cache_path=cache_path,
+        )
+        restrict: Optional[Set[str]] = None
+        if args.diff is not None:
+            changed = _changed_files(args.diff)
+            # cross-file findings always surface: an edit in one file
+            # can break a contract anchored in another
+            violations = [
+                v
+                for v in violations
+                if v.path in changed or v.code in PROJECT_RULES
+            ]
+            restrict = changed | {
+                v.path for v in violations if v.code in PROJECT_RULES
+            }
         if args.write_baseline:
             target = args.baseline or DEFAULT_BASELINE
             count = write_baseline(target, violations)
@@ -119,7 +205,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         reported = violations
         if baseline_path is not None:
             drift = compare_to_baseline(
-                violations, load_baseline(baseline_path)
+                violations,
+                load_baseline(baseline_path),
+                restrict_paths=restrict,
             )
             reported = drift.new
     except (LintError, ValueError) as exc:

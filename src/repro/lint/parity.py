@@ -1,0 +1,116 @@
+"""RPL014: batched/scalar hook-surface parity.
+
+The equivalence suite proves batched engines reproduce scalar results
+*for the hooks the batched twin implements*. What it cannot catch is a
+hook the twin silently drops: a scalar strategy that overrides
+``on_player_restart`` whose ``make_batched`` twin never implements it
+runs fine — lanes just lose restart handling, and only the fault
+experiments drift. This checker makes the hook surface a contract:
+
+* every class reachable through a ``make_batched`` return must exist in
+  the project (a renamed twin is found at lint time, not import time);
+* every hook the scalar class *defines* — itself or via a non-protocol
+  ancestor — must be implemented by the twin under the scalar→batched
+  name mapping, again itself or via a non-protocol ancestor (the
+  ``PerLane*`` adapters forward everything, so extending one satisfies
+  the whole surface).
+
+Protocol roots (``Strategy``/``Adversary`` and their ``Batched*``
+counterparts) provide inherited defaults on both sides; those defaults
+are the *fallback*, not an implementation, so they count for neither
+"scalar defines it" nor "twin provides it".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Set, Tuple
+
+#: scalar hook -> required batched hook, per protocol family
+STRATEGY_HOOK_MAP: Dict[str, str] = {
+    "reset": "reset_lanes",
+    "choose_probes": "choose_probes_batch",
+    "handle_results": "handle_results_batch",
+    "finished": "finished",
+    "on_player_restart": "on_player_restart",
+    "info": "info",
+}
+
+ADVERSARY_HOOK_MAP: Dict[str, str] = {
+    "reset": "reset_lanes",
+    "act": "act",
+}
+
+#: protocol roots whose default bodies don't count as implementations
+SCALAR_ROOTS: Set[str] = {"Strategy", "Adversary"}
+BATCHED_ROOTS: Set[str] = {"BatchedStrategy", "BatchedAdversary"}
+
+
+def _hook_map(base_names: Set[str]) -> Dict[str, str]:
+    if "Adversary" in base_names:
+        return ADVERSARY_HOOK_MAP
+    if "Strategy" in base_names:
+        return STRATEGY_HOOK_MAP
+    return {}
+
+
+def check_parity(model: Any) -> Iterator[Dict[str, Any]]:
+    """RPL014 over every ``make_batched`` edge in src."""
+    for summary in model.src_files():
+        for class_name, info in summary["classes"].items():
+            scalar = model.resolve_class(class_name, summary)
+            if scalar is None or not info["make_batched_returns"]:
+                continue
+            hook_map = _hook_map(model.base_names(scalar))
+            if not hook_map:
+                continue
+            scalar_hooks = model.methods_of(scalar, stop_at=SCALAR_ROOTS)
+            for target in info["make_batched_returns"]:
+                twin = model.resolve_class(target, summary)
+                if twin is None:
+                    yield {
+                        "path": summary["path"],
+                        "line": info["methods"].get(
+                            "make_batched", info["line"]
+                        ),
+                        "col": 0,
+                        "code": "RPL014",
+                        "message": (
+                            f"`{class_name}.make_batched` returns "
+                            f"`{target}`, which is not a class this "
+                            "project defines"
+                        ),
+                    }
+                    continue
+                yield from _check_twin(
+                    model, summary, scalar, twin, hook_map, scalar_hooks
+                )
+
+
+def _check_twin(
+    model: Any,
+    summary: Dict[str, Any],
+    scalar: Any,
+    twin: Any,
+    hook_map: Dict[str, str],
+    scalar_hooks: Dict[str, Tuple[str, int]],
+) -> Iterator[Dict[str, Any]]:
+    twin_hooks = model.methods_of(twin, stop_at=BATCHED_ROOTS)
+    missing: List[str] = []
+    for scalar_hook, batched_hook in sorted(hook_map.items()):
+        if scalar_hook not in scalar_hooks:
+            continue  # scalar relies on the protocol default — no contract
+        if batched_hook not in twin_hooks:
+            missing.append(
+                f"`{batched_hook}` (scalar `{scalar.name}.{scalar_hook}`)"
+            )
+    if missing:
+        yield {
+            "path": twin.path,
+            "line": twin.info["line"],
+            "col": 0,
+            "code": "RPL014",
+            "message": (
+                f"batched twin `{twin.name}` of `{scalar.name}` does "
+                "not implement " + ", ".join(missing)
+            ),
+        }

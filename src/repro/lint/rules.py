@@ -113,8 +113,50 @@ RULES: Dict[str, Rule] = {
             "columnar/dict form (repro.billboard.sparse) or allocate "
             "through repro.world.player_array",
         ),
+        Rule(
+            "RPL011",
+            "rng-stream-flow",
+            "rng stream misuse across spawn/handoff paths",
+            "every SeedSequence child feeds exactly one component: spawn "
+            "enough children, index each exactly once, and never hand "
+            "the same stream to two engine/component paths — shared "
+            "streams correlate what the model says is independent",
+        ),
+        Rule(
+            "RPL012",
+            "knob-trio-drift",
+            "run-configuration knob missing part of its flag/env/resolver "
+            "trio or its docs entry",
+            "every REPRO_* knob must be reachable three ways — a CLI "
+            "flag whose help names the variable, the environment "
+            "variable itself, and a default_*/resolve_* (or argparse "
+            "default) path — and be documented in docs/",
+        ),
+        Rule(
+            "RPL013",
+            "counter-registry-drift",
+            "obs counter/timer name out of sync with the declared "
+            "registry or docs",
+            "declare every metric name in repro.obs.names and document "
+            "it in docs/observability.md; an undeclared name at a call "
+            "site is how a typo silently creates a parallel counter",
+        ),
+        Rule(
+            "RPL014",
+            "batched-scalar-parity",
+            "batched twin's hook surface diverges from its scalar class",
+            "a class reachable via make_batched must implement the "
+            "batched counterpart of every hook its scalar twin "
+            "overrides (reset_lanes, choose_probes_batch, "
+            "handle_results_batch, on_player_restart, finished, info) "
+            "or lanes silently drop behavior the scalar engine has",
+        ),
     )
 }
+
+#: rule families evaluated over the whole project model (phase 2) rather
+#: than one file's AST; engine.py routes these to the project checkers
+PROJECT_RULES: Tuple[str, ...] = ("RPL011", "RPL012", "RPL013", "RPL014")
 
 #: the only numpy.random attributes that are part of the Generator-era
 #: seeding API; calling anything else on numpy.random is the legacy

@@ -12,15 +12,16 @@ from repro.world.generators import planted_instance
 
 
 def run_engine(adversary, n=128, alpha=0.4, beta=1 / 16, seed=7):
+    world_ss, honest_ss, adversary_ss = np.random.SeedSequence(seed).spawn(3)
     inst = planted_instance(
-        n=n, m=n, beta=beta, alpha=alpha, rng=np.random.default_rng(seed)
+        n=n, m=n, beta=beta, alpha=alpha, rng=np.random.default_rng(world_ss)
     )
     engine = SynchronousEngine(
         inst,
         DistillStrategy(),
         adversary=adversary,
-        rng=np.random.default_rng(seed + 1),
-        adversary_rng=np.random.default_rng(seed + 2),
+        rng=np.random.default_rng(honest_ss),
+        adversary_rng=np.random.default_rng(adversary_ss),
     )
     return inst, engine, engine.run()
 

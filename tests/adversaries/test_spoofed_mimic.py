@@ -17,12 +17,13 @@ def make_world(seed=5, n=64, alpha=0.5):
 
 
 def run_with(adversary, inst, seed=6):
+    honest_ss, adversary_ss = np.random.SeedSequence(seed).spawn(2)
     engine = SynchronousEngine(
         inst,
         DistillStrategy(),
         adversary=adversary,
-        rng=np.random.default_rng(seed),
-        adversary_rng=np.random.default_rng(seed + 1),
+        rng=np.random.default_rng(honest_ss),
+        adversary_rng=np.random.default_rng(adversary_ss),
     )
     return engine, engine.run()
 
@@ -36,7 +37,9 @@ class TestSpoofedProtocol:
             strategy_factory=DistillStrategy,
             spoof_tables={int(p): table for p in inst.dishonest_ids},
         )
-        engine, metrics = run_with(adversary, inst)
+        # seed picked so the mimicked cohort's DISTILL runs reach their
+        # vote step before the honest cohort satisfies and the run halts
+        engine, metrics = run_with(adversary, inst, seed=9)
         dishonest_votes = [
             p
             for p in engine.board.vote_posts()

@@ -1,10 +1,12 @@
 """The pytest-collected determinism-contract gate.
 
 This is the check CI and local runs share: the repo's own ``src`` and
-``tests`` trees must lint clean against the committed baseline. It also
-pins the gate's teeth — a seeded violation (the historical
-``args.seed + 1`` bug) must fail, and fixing baselined debt without
-updating the baseline must fail too (the shrink has to be committed).
+``tests`` trees must lint clean — and since the historical debt was paid
+down to zero, clean means *entry-free*, with no committed baseline file
+at all. It also pins the gate's teeth — a seeded violation (the
+historical ``args.seed + 1`` bug) must fail, and fixing baselined debt
+without updating the baseline must fail too (the shrink has to be
+committed).
 """
 
 import json
@@ -12,14 +14,13 @@ import os
 import subprocess
 import sys
 
-import pytest
-
 from repro.lint import (
     compare_to_baseline,
     lint_paths,
-    load_baseline,
+    lint_project,
     write_baseline,
 )
+from repro.lint.baseline import Baseline
 from repro.lint.cli import DEFAULT_BASELINE, main
 
 ROOT = os.path.abspath(
@@ -33,37 +34,32 @@ def repo_paths():
 
 
 class TestRepoIsClean:
-    def test_repo_lints_clean_against_committed_baseline(self):
+    def test_repo_lints_entry_free(self):
+        # every historical baseline entry has been paid down; the tree
+        # must lint clean with NO baseline at all
         cwd = os.getcwd()
         os.chdir(ROOT)
         try:
             drift = compare_to_baseline(
-                lint_paths(["src", "tests"]), load_baseline(BASELINE)
+                lint_paths(["src", "tests"]), Baseline()
             )
         finally:
             os.chdir(cwd)
         assert not drift.new, "new determinism-contract violations:\n" + (
             "\n".join(v.render() for v in drift.new)
         )
-        assert not drift.stale, (
-            "baselined violations were fixed without regenerating the "
-            "baseline (run `python -m repro.lint --write-baseline`):\n"
-            + "\n".join(drift.stale)
-        )
+        assert drift.suppressed == 0
 
-    def test_baseline_entries_all_still_matched(self):
-        # the suppressed count equals the committed debt: nothing silently
-        # dropped, nothing double-counted
+    def test_repo_clean_under_project_rules(self):
+        # the cross-file families (RPL011-RPL014) must hold repo-wide,
+        # not just the per-file rules lint_paths covers
         cwd = os.getcwd()
         os.chdir(ROOT)
         try:
-            baseline = load_baseline(BASELINE)
-            drift = compare_to_baseline(
-                lint_paths(["src", "tests"]), baseline
-            )
+            violations = lint_project(["src", "tests"], cache_path=None)
         finally:
             os.chdir(cwd)
-        assert drift.suppressed == baseline.total
+        assert violations == [], "\n".join(v.render() for v in violations)
 
     def test_every_inline_suppression_carries_a_reason(self):
         # RPL009 runs unconditionally, so a clean tree implies every
@@ -93,7 +89,7 @@ class TestGateHasTeeth:
         )
         violations = lint_paths([str(bad)])
         assert [v.code for v in violations] == ["RPL004", "RPL004"]
-        drift = compare_to_baseline(violations, load_baseline(BASELINE))
+        drift = compare_to_baseline(violations, Baseline())
         assert len(drift.new) == 2
 
     def test_cli_exit_codes(self, tmp_path, capsys):
@@ -165,22 +161,28 @@ class TestGateHasTeeth:
         assert "clean" in proc.stdout
 
 
-class TestBaselineFileHygiene:
-    def test_baseline_is_valid_and_versioned(self):
-        with open(BASELINE) as handle:
-            data = json.load(handle)
-        assert data["version"] == 1
-        assert data["entries"], "an empty baseline should simply be deleted"
+class TestBaselineRetired:
+    """The committed baseline shrank to zero and was deleted.
 
-    def test_baseline_names_only_real_files(self):
-        with open(BASELINE) as handle:
-            data = json.load(handle)
-        for entry in data["entries"]:
-            assert os.path.exists(os.path.join(ROOT, entry["path"])), entry
+    New violations must be *fixed* (or carry a reasoned inline noqa),
+    not baselined; reintroducing the file means new debt slipped in.
+    """
 
-    @pytest.mark.parametrize("field", ["fingerprint", "path", "code", "count"])
-    def test_baseline_entries_carry_review_fields(self, field):
-        with open(BASELINE) as handle:
-            data = json.load(handle)
-        for entry in data["entries"]:
-            assert field in entry
+    def test_no_baseline_file_is_committed(self):
+        assert not os.path.exists(BASELINE), (
+            "reprolint-baseline.json reappeared — fix the violations "
+            "instead of inventorying new debt"
+        )
+
+    def test_cli_discovers_absence_gracefully(self, tmp_path, capsys):
+        # running from a directory with no baseline file must behave
+        # exactly like --no-baseline, not error out
+        clean = tmp_path / "clean.py"
+        clean.write_text("import numpy as np\n")
+        cwd = os.getcwd()
+        os.chdir(tmp_path)
+        try:
+            assert main([str(clean)]) == 0
+        finally:
+            os.chdir(cwd)
+        capsys.readouterr()

@@ -10,13 +10,14 @@ from repro.world.generators import planted_instance
 
 
 def run_once(n=32, m=64, beta=1 / 16, alpha=1.0, seed=3):
+    world_ss, honest_ss = np.random.SeedSequence(seed).spawn(2)
     inst = planted_instance(
-        n=n, m=m, beta=beta, alpha=alpha, rng=np.random.default_rng(seed)
+        n=n, m=m, beta=beta, alpha=alpha, rng=np.random.default_rng(world_ss)
     )
     engine = SynchronousEngine(
         inst,
         FullCooperationStrategy(),
-        rng=np.random.default_rng(seed + 1),
+        rng=np.random.default_rng(honest_ss),
     )
     return inst, engine, engine.run()
 

@@ -20,12 +20,13 @@ def engine_for(n=64, m=64, beta=1 / 8, alpha=0.75, adversary=None,
         n=n, m=m, beta=beta, alpha=alpha,
         rng=np.random.default_rng(world_seed),
     )
+    honest_ss, adversary_ss = np.random.SeedSequence(seed).spawn(2)
     return inst, SynchronousEngine(
         inst,
         DistillStrategy(),
         adversary=adversary,
-        rng=np.random.default_rng(seed),
-        adversary_rng=np.random.default_rng(seed + 1),
+        rng=np.random.default_rng(honest_ss),
+        adversary_rng=np.random.default_rng(adversary_ss),
         **engine_kwargs,
     )
 

@@ -25,17 +25,18 @@ from repro.world.generators import planted_instance
 
 
 def run_world(seed, n=128, alpha=0.5, beta=1 / 16, adversary=True):
+    world_ss, honest_ss, adversary_ss = np.random.SeedSequence(seed).spawn(3)
     inst = planted_instance(
         n=n, m=n, beta=beta, alpha=alpha,
-        rng=np.random.default_rng(seed),
+        rng=np.random.default_rng(world_ss),
     )
     strategy = DistillStrategy()
     engine = SynchronousEngine(
         inst,
         strategy,
         adversary=FloodAdversary() if adversary else None,
-        rng=np.random.default_rng(seed + 1),
-        adversary_rng=np.random.default_rng(seed + 2),
+        rng=np.random.default_rng(honest_ss),
+        adversary_rng=np.random.default_rng(adversary_ss),
         config=EngineConfig(max_rounds=200_000),
     )
     metrics = engine.run()

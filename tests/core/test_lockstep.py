@@ -20,17 +20,18 @@ from repro.world.generators import planted_instance
 
 
 def run_once(alpha=0.5, seed=11):
+    world_ss, honest_ss, adversary_ss = np.random.SeedSequence(seed).spawn(3)
     inst = planted_instance(
         n=64, m=64, beta=1 / 8, alpha=alpha,
-        rng=np.random.default_rng(seed),
+        rng=np.random.default_rng(world_ss),
     )
     strategy = DistillStrategy(DistillParameters())
     engine = SynchronousEngine(
         inst,
         strategy,
         adversary=SplitVoteAdversary(),
-        rng=np.random.default_rng(seed + 1),
-        adversary_rng=np.random.default_rng(seed + 2),
+        rng=np.random.default_rng(honest_ss),
+        adversary_rng=np.random.default_rng(adversary_ss),
     )
     metrics = engine.run()
     return inst, engine, strategy, metrics

@@ -12,16 +12,17 @@ from repro.world.generators import planted_instance
 
 
 def run_once(f=3, error_rate=0.1, alpha=0.75, seed=7):
+    world_ss, honest_ss, adversary_ss = np.random.SeedSequence(seed).spawn(3)
     inst = planted_instance(
         n=64, m=64, beta=1 / 8, alpha=alpha,
-        rng=np.random.default_rng(seed),
+        rng=np.random.default_rng(world_ss),
     )
     engine = SynchronousEngine(
         inst,
         MultiVoteDistill(f=f, error_rate=error_rate),
         adversary=SplitVoteAdversary(votes_per_identity=f),
-        rng=np.random.default_rng(seed + 1),
-        adversary_rng=np.random.default_rng(seed + 2),
+        rng=np.random.default_rng(honest_ss),
+        adversary_rng=np.random.default_rng(adversary_ss),
         config=EngineConfig(
             vote_mode=VoteMode.MULTI, max_votes_per_player=f
         ),

@@ -10,17 +10,18 @@ from repro.world.generators import valued_instance
 
 
 def run_once(n=128, beta=1 / 16, alpha=0.6, seed=3, adversary=None):
+    world_ss, honest_ss, adversary_ss = np.random.SeedSequence(seed).spawn(3)
     inst = valued_instance(
         n=n, m=n, beta=beta, alpha=alpha,
-        rng=np.random.default_rng(seed),
+        rng=np.random.default_rng(world_ss),
     )
     strategy = NoLocalTestingDistill()
     engine = SynchronousEngine(
         inst,
         strategy,
         adversary=adversary,
-        rng=np.random.default_rng(seed + 1),
-        adversary_rng=np.random.default_rng(seed + 2),
+        rng=np.random.default_rng(honest_ss),
+        adversary_rng=np.random.default_rng(adversary_ss),
         config=EngineConfig(vote_mode=VoteMode.MUTABLE),
     )
     return inst, strategy, engine, engine.run()
@@ -73,7 +74,7 @@ class TestSuccess:
     def test_everyone_holds_good_whp(self):
         successes = 0
         for seed in range(5):
-            inst, _s, _e, metrics = run_once(seed=100 + seed)
+            inst, _s, _e, metrics = run_once(seed=(100, seed))
             successes += metrics.all_honest_satisfied
         assert successes >= 4
 

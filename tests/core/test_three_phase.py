@@ -14,17 +14,18 @@ from repro.world.generators import planted_instance, valued_instance
 
 def run_once(n=256, seed=5, adversary=None):
     sqrt_n = math.sqrt(n)
+    world_ss, honest_ss, adversary_ss = np.random.SeedSequence(seed).spawn(3)
     inst = planted_instance(
         n=n, m=n, beta=1.0 / n, alpha=1.0 - sqrt_n / n,
-        rng=np.random.default_rng(seed),
+        rng=np.random.default_rng(world_ss),
     )
     strategy = ThreePhaseStrategy()
     engine = SynchronousEngine(
         inst,
         strategy,
         adversary=adversary,
-        rng=np.random.default_rng(seed + 1),
-        adversary_rng=np.random.default_rng(seed + 2),
+        rng=np.random.default_rng(honest_ss),
+        adversary_rng=np.random.default_rng(adversary_ss),
         config=EngineConfig(max_rounds=64, strict=False),
     )
     return inst, engine.run()
@@ -72,7 +73,7 @@ class TestClaims:
         hits = 0
         for seed in range(6):
             inst, metrics = run_once(
-                seed=200 + seed, adversary=FloodAdversary()
+                seed=(200, seed), adversary=FloodAdversary()
             )
             c2 = metrics.strategy_info["candidate_sizes"][1]
             assert c2 <= math.sqrt(inst.n) + 2

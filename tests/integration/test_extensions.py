@@ -127,14 +127,15 @@ class TestOwnership:
 
 class TestPricing:
     def run_priced(self, premium, seed=11):
+        world_ss, honest_ss = np.random.SeedSequence(seed).spawn(2)
         inst = planted_instance(
             n=128, m=128, beta=1 / 128, alpha=0.8,
-            rng=np.random.default_rng(seed),
+            rng=np.random.default_rng(world_ss),
         )
         engine = PricedEngine(
             inst,
             DistillStrategy(),
-            rng=np.random.default_rng(seed + 1),
+            rng=np.random.default_rng(honest_ss),
             premium=premium,
         )
         return engine.run()

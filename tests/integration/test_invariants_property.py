@@ -24,16 +24,17 @@ world_params = st.tuples(
 
 
 def run_world(n, n_good, alpha, adversary_name, seed):
+    world_ss, honest_ss, adversary_ss = np.random.SeedSequence(seed).spawn(3)
     inst = planted_instance(
         n=n, m=n, beta=n_good / n, alpha=alpha,
-        rng=np.random.default_rng(seed),
+        rng=np.random.default_rng(world_ss),
     )
     engine = SynchronousEngine(
         inst,
         DistillStrategy(),
         adversary=make_adversary(adversary_name),
-        rng=np.random.default_rng(seed + 1),
-        adversary_rng=np.random.default_rng(seed + 2),
+        rng=np.random.default_rng(honest_ss),
+        adversary_rng=np.random.default_rng(adversary_ss),
         config=EngineConfig(max_rounds=100_000),
     )
     return inst, engine, engine.run()

@@ -22,16 +22,17 @@ multi_params = st.tuples(
 def run_multi(f, error_rate, alpha, seed):
     if error_rate > 0 and f < 2:
         f = 2
+    world_ss, honest_ss, adversary_ss = np.random.SeedSequence(seed).spawn(3)
     inst = planted_instance(
         n=48, m=48, beta=1 / 8, alpha=alpha,
-        rng=np.random.default_rng(seed),
+        rng=np.random.default_rng(world_ss),
     )
     engine = SynchronousEngine(
         inst,
         MultiVoteDistill(f=f, error_rate=error_rate),
         adversary=SplitVoteAdversary(votes_per_identity=f),
-        rng=np.random.default_rng(seed + 1),
-        adversary_rng=np.random.default_rng(seed + 2),
+        rng=np.random.default_rng(honest_ss),
+        adversary_rng=np.random.default_rng(adversary_ss),
         config=EngineConfig(
             vote_mode=VoteMode.MULTI,
             max_votes_per_player=f,
@@ -78,14 +79,15 @@ mutable_params = st.tuples(
 
 
 def run_mutable(alpha, beta, seed):
+    world_ss, honest_ss = np.random.SeedSequence(seed).spawn(2)
     inst = valued_instance(
         n=48, m=48, beta=beta, alpha=alpha,
-        rng=np.random.default_rng(seed),
+        rng=np.random.default_rng(world_ss),
     )
     engine = SynchronousEngine(
         inst,
         NoLocalTestingDistill(),
-        rng=np.random.default_rng(seed + 1),
+        rng=np.random.default_rng(honest_ss),
         config=EngineConfig(
             vote_mode=VoteMode.MUTABLE, max_rounds=100_000
         ),

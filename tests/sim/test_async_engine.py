@@ -88,7 +88,7 @@ class TestAsyncEngine:
                 world(n=64, beta=beta, seed=seed),
                 PerStepAdapter(AsyncEC04Strategy()),
                 schedule=SoloFirstSchedule(victim=0),
-                rng=np.random.default_rng(100 + seed),
+                rng=np.random.default_rng((100, seed)),
             )
             costs.append(engine.run().probes_of(0))
         # solo probes are geometric(beta), mean 1/beta = 16; fifteen
@@ -103,15 +103,18 @@ class TestSynchronizedAdapter:
         async_costs, sync_costs = [], []
         for seed in range(6):
             inst = world(n=96, beta=1 / 8, seed=seed)
+            async_ss, sched_ss, sync_ss = np.random.SeedSequence(
+                seed
+            ).spawn(3)
             a = AsynchronousEngine(
                 inst,
                 SynchronizedDistillAdapter(),
                 schedule=RandomSchedule(),
-                rng=np.random.default_rng(200 + seed),
-                schedule_rng=np.random.default_rng(300 + seed),
+                rng=np.random.default_rng(async_ss),
+                schedule_rng=np.random.default_rng(sched_ss),
             ).run()
             s = SynchronousEngine(
-                inst, DistillStrategy(), rng=np.random.default_rng(400 + seed)
+                inst, DistillStrategy(), rng=np.random.default_rng(sync_ss)
             ).run()
             async_costs.append(a.mean_individual_probes)
             sync_costs.append(s.mean_individual_probes)

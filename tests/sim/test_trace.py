@@ -14,16 +14,17 @@ from repro.world.generators import planted_instance
 
 
 def traced_run(seed=3, alpha=0.6, adversary=True):
+    world_ss, honest_ss, adversary_ss = np.random.SeedSequence(seed).spawn(3)
     inst = planted_instance(
         n=64, m=64, beta=1 / 8, alpha=alpha,
-        rng=np.random.default_rng(seed),
+        rng=np.random.default_rng(world_ss),
     )
     engine = SynchronousEngine(
         inst,
         DistillStrategy(),
         adversary=FloodAdversary() if adversary else None,
-        rng=np.random.default_rng(seed + 1),
-        adversary_rng=np.random.default_rng(seed + 2),
+        rng=np.random.default_rng(honest_ss),
+        adversary_rng=np.random.default_rng(adversary_ss),
         config=EngineConfig(trace=True),
     )
     metrics = engine.run()
@@ -134,18 +135,21 @@ class TestFaultTracing:
     def faulty_run(self, plan, seed=3):
         from repro.faults import FaultInjector
 
+        world_ss, honest_ss, adversary_ss, fault_ss = np.random.SeedSequence(
+            seed
+        ).spawn(4)
         inst = planted_instance(
             n=32, m=32, beta=1 / 8, alpha=0.75,
-            rng=np.random.default_rng(seed),
+            rng=np.random.default_rng(world_ss),
         )
         engine = SynchronousEngine(
             inst,
             DistillStrategy(),
-            rng=np.random.default_rng(seed + 1),
-            adversary_rng=np.random.default_rng(seed + 2),
+            rng=np.random.default_rng(honest_ss),
+            adversary_rng=np.random.default_rng(adversary_ss),
             config=EngineConfig(trace=True, max_rounds=5000),
             fault_injector=FaultInjector(
-                plan, np.random.default_rng(seed + 3)
+                plan, np.random.default_rng(fault_ss)
             ),
         )
         metrics = engine.run()

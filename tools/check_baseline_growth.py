@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Fail if reprolint-baseline.json gained entries relative to a base ref.
+
+The baseline is a ratchet: it may shrink (debt paid down) or stay put,
+but it must never grow — new violations get *fixed* or carry a reasoned
+inline ``# repro: noqa=RPLxxx(reason)``, not a fresh inventory entry.
+This guard makes the ratchet mechanical in CI:
+
+    python tools/check_baseline_growth.py --base origin/main
+
+A missing baseline file counts as zero entries on either side, so the
+guard keeps working after the baseline is fully retired (today's state)
+and would catch the file being *reintroduced* with entries.
+
+stdlib only; exit 0 = ok, 1 = baseline grew, 2 = usage/environment error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+BASELINE = "reprolint-baseline.json"
+
+
+def entry_count(payload: str, origin: str) -> int:
+    """Total violation count in a baseline JSON document."""
+    try:
+        data = json.loads(payload)
+    except json.JSONDecodeError as exc:
+        sys.stderr.write(f"error: {origin} is not valid JSON: {exc}\n")
+        raise SystemExit(2) from None
+    return sum(int(entry.get("count", 1)) for entry in data.get("entries", []))
+
+
+def count_at_ref(ref: str) -> int:
+    """Entry count of the baseline as committed at *ref* (0 if absent)."""
+    proc = subprocess.run(
+        ["git", "show", f"{ref}:{BASELINE}"],
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        stderr = proc.stderr.lower()
+        if "does not exist" in stderr or "exists on disk, but not in" in stderr:
+            return 0
+        sys.stderr.write(
+            f"error: cannot read {BASELINE} at {ref}:\n{proc.stderr}"
+        )
+        raise SystemExit(2)
+    return entry_count(proc.stdout, f"{ref}:{BASELINE}")
+
+
+def count_in_worktree() -> int:
+    if not os.path.exists(BASELINE):
+        return 0
+    with open(BASELINE, encoding="utf-8") as handle:
+        return entry_count(handle.read(), BASELINE)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--base",
+        default="origin/main",
+        metavar="REF",
+        help="git ref to compare against (default: origin/main)",
+    )
+    args = parser.parse_args(argv)
+
+    base = count_at_ref(args.base)
+    current = count_in_worktree()
+    if current > base:
+        sys.stderr.write(
+            f"error: {BASELINE} grew from {base} to {current} entries "
+            f"vs {args.base}; fix new violations (or use a reasoned "
+            "inline `# repro: noqa=...`) instead of baselining them\n"
+        )
+        return 1
+    print(
+        f"baseline ratchet ok: {current} entries "
+        f"(base {args.base}: {base})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
