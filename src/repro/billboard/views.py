@@ -106,3 +106,43 @@ class BillboardView:
         if end < start_round:
             end = start_round
         return self._board.counts_in_window(start_round, end)
+
+
+class SnapshotView(BillboardView):
+    """An epoch-pinned read view with a genuine immutability guarantee.
+
+    The serving layer (:mod:`repro.serve`) hands concurrent readers a
+    ``SnapshotView`` pinned at the epoch that was current when the
+    reader arrived. Unlike a plain :class:`BillboardView` — a horizon
+    filter over a board that may still grow *below* the horizon in
+    principle — a snapshot's isolation is structural: the board is
+    append-only and round stamps are monotone (:class:`~repro.errors.
+    TamperError` on regression), so once the writer has moved on to
+    epoch ``E`` no future post can ever be stamped ``< E``. Every query
+    against a ``SnapshotView(board, epoch=E)`` is therefore repeatable
+    for the lifetime of the board, no matter how many posts land
+    concurrently in epochs ``>= E``
+    (``tests/billboard/test_snapshot_view.py`` pins this property under
+    interleaved ``append_many`` traffic).
+
+    ``epoch`` is the *exclusive* horizon: the snapshot sees exactly the
+    posts of completed epochs ``0 .. E-1``.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, board: Billboard, epoch: int) -> None:
+        if epoch < 0:
+            raise ValueError(f"epoch must be non-negative, got {epoch}")
+        super().__init__(board, before_round=epoch)
+
+    @property
+    def epoch(self) -> int:
+        """The pinned epoch (exclusive visibility horizon)."""
+        assert self.before_round is not None
+        return self.before_round
+
+    def with_horizon(self, before_round: Optional[int]) -> BillboardView:
+        """Re-pinning a snapshot yields a plain view: only the original
+        epoch carries the was-current-at-open guarantee."""
+        return BillboardView(self._board, before_round=before_round)

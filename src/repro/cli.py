@@ -257,6 +257,56 @@ def build_parser() -> argparse.ArgumentParser:
     _add_substrate_flag(g)
     _add_obs_flag(g)
 
+    serve = sub.add_parser(
+        "serve",
+        help="serve a live billboard over TCP (see docs/serving.md)",
+    )
+    serve.add_argument(
+        "--n", type=int, default=256, help="players the board admits"
+    )
+    serve.add_argument(
+        "--m", type=int, default=128, help="objects the board scores"
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help=(
+            "listening address; keep it loopback unless the network is "
+            "trusted (frames are pickles, like the exec fabric)"
+        ),
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help=(
+            "listening port (default: REPRO_SERVE_PORT or 0 — an "
+            "ephemeral port, printed on startup)"
+        ),
+    )
+    _add_substrate_flag(serve)
+    serve.add_argument(
+        "--max-inflight",
+        dest="max_inflight",
+        type=int,
+        default=None,
+        help=(
+            "shed requests beyond this many in processing at once "
+            "(default: REPRO_SERVE_MAX_INFLIGHT or 256). Never changes "
+            "what an admitted request computes."
+        ),
+    )
+    serve.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help=(
+            "per-client admission rate in requests/second; 0 disables "
+            "rate limiting (default: REPRO_SERVE_RATE or 0). Never "
+            "changes what an admitted request computes."
+        ),
+    )
+
     o = sub.add_parser(
         "obs",
         help="inspect observation files (see docs/observability.md)",
@@ -476,6 +526,31 @@ def cmd_gauntlet(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import (
+        BillboardService,
+        ServeConfig,
+        resolve_serve_max_inflight,
+        resolve_serve_port,
+        resolve_serve_rate,
+    )
+
+    config = ServeConfig(
+        n_players=args.n,
+        n_objects=args.m,
+        host=args.host,
+        port=resolve_serve_port(args.port),
+        substrate=args.substrate,
+        max_inflight=resolve_serve_max_inflight(args.max_inflight),
+        rate=resolve_serve_rate(args.rate),
+    )
+    try:
+        BillboardService(config).run()
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def cmd_obs(args: argparse.Namespace) -> int:
     import json
 
@@ -555,6 +630,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return cmd_report(args)
     if args.command == "gauntlet":
         return cmd_gauntlet(args)
+    if args.command == "serve":
+        return cmd_serve(args)
     if args.command == "obs":
         return cmd_obs(args)
     raise AssertionError("unreachable")  # pragma: no cover

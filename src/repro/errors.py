@@ -85,6 +85,23 @@ class CheckpointError(ReproError):
     the runner fails loudly instead."""
 
 
+class LoadShedError(ReproError):
+    """The serving layer refused a request to protect its latency SLO.
+
+    Raised client-side when :class:`~repro.serve.service.BillboardService`
+    answers a request with a ``shed`` frame — the per-client token bucket
+    ran dry or the global in-flight cap was hit. Shedding is *not* a
+    failure of the board: the request was never applied, so the caller
+    can back off and retry without risking a duplicate post. ``reason``
+    carries the server's admission verdict (``"rate"`` or
+    ``"inflight"``).
+    """
+
+    def __init__(self, message: str, reason: str = "") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
 class AdversaryViolationError(SimulationError):
     """An adversary attempted an action outside the Byzantine model as
     mediated by the engine (e.g. casting a vote on behalf of an honest

@@ -49,15 +49,52 @@ class ConnectionClosed(ProtocolError):
     """The peer closed the connection (EOF mid-stream or between frames)."""
 
 
-def send_frame(sock: socket.socket, kind: str, body: Any = None) -> None:
-    """Serialize and send one ``(kind, body)`` frame."""
+def encode_frame(kind: str, body: Any = None) -> bytes:
+    """Serialize one ``(kind, body)`` frame: length header + payload.
+
+    Shared by the blocking socket fabric (:func:`send_frame`) and the
+    asyncio serving layer (:mod:`repro.serve.service` writes the encoded
+    bytes straight to a ``StreamWriter``), so both speak the identical
+    wire format.
+    """
     payload = pickle.dumps((kind, body), protocol=pickle.HIGHEST_PROTOCOL)
     if len(payload) > MAX_FRAME_BYTES:
         raise ProtocolError(
             f"refusing to send a {len(payload)}-byte frame "
             f"(cap {MAX_FRAME_BYTES}); chunk the work smaller"
         )
-    sock.sendall(_LENGTH.pack(len(payload)) + payload)
+    return _LENGTH.pack(len(payload)) + payload
+
+
+def frame_length(header: bytes) -> int:
+    """Decode the 4-byte length prefix, enforcing the frame cap."""
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"peer announced a {length}-byte frame (cap {MAX_FRAME_BYTES}); "
+            "corrupt stream or protocol mismatch"
+        )
+    return length
+
+
+def decode_frame(payload: bytes) -> Tuple[str, Any]:
+    """Unpickle one frame payload (the bytes after the length prefix)."""
+    try:
+        kind, body = pickle.loads(payload)
+    except Exception as exc:  # unpickling failures are protocol failures
+        raise ProtocolError(f"undecodable frame: {exc}") from None
+    if not isinstance(kind, str):
+        raise ProtocolError(f"frame kind must be a string, got {kind!r}")
+    return kind, body
+
+
+#: size of the length prefix, for readers that pull the header themselves
+HEADER_BYTES = _LENGTH.size
+
+
+def send_frame(sock: socket.socket, kind: str, body: Any = None) -> None:
+    """Serialize and send one ``(kind, body)`` frame."""
+    sock.sendall(encode_frame(kind, body))
 
 
 def _recv_exact(sock: socket.socket, count: int) -> bytes:
@@ -77,18 +114,6 @@ def _recv_exact(sock: socket.socket, count: int) -> bytes:
 
 def recv_frame(sock: socket.socket) -> Tuple[str, Any]:
     """Receive one frame; raises :class:`ConnectionClosed` on EOF."""
-    header = _recv_exact(sock, _LENGTH.size)
-    (length,) = _LENGTH.unpack(header)
-    if length > MAX_FRAME_BYTES:
-        raise ProtocolError(
-            f"peer announced a {length}-byte frame (cap {MAX_FRAME_BYTES}); "
-            "corrupt stream or protocol mismatch"
-        )
-    payload = _recv_exact(sock, length)
-    try:
-        kind, body = pickle.loads(payload)
-    except Exception as exc:  # unpickling failures are protocol failures
-        raise ProtocolError(f"undecodable frame: {exc}") from None
-    if not isinstance(kind, str):
-        raise ProtocolError(f"frame kind must be a string, got {kind!r}")
-    return kind, body
+    header = _recv_exact(sock, HEADER_BYTES)
+    payload = _recv_exact(sock, frame_length(header))
+    return decode_frame(payload)

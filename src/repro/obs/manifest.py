@@ -34,8 +34,8 @@ from typing import Any, Dict, Mapping, Optional, Tuple
 
 #: bump when a field is added/renamed/removed; readers check it
 #: (2: added ``batch_fallback_reason``; 3: added ``executor``;
-#: 4: added ``substrate``)
-SCHEMA_VERSION = 4
+#: 4: added ``substrate``; 5: added ``serving``)
+SCHEMA_VERSION = 5
 
 
 def _canonical_json(payload: Any) -> str:
@@ -163,6 +163,16 @@ class RunManifest:
         **reporting, not identity**: the substrate is bit-inert, so
         ``repro obs diff`` shows it informationally and excludes it
         from its verdict.
+    serving:
+        The serving-layer configuration when the artifact came from a
+        :class:`~repro.serve.service.BillboardService` (the
+        :meth:`~repro.serve.config.ServeConfig.manifest_payload` dict:
+        world dimensions, substrate knob, admission caps), or ``None``
+        for batch artifacts. Admission caps shape *which* requests were
+        admitted, never what an admitted request computes, so like
+        ``executor`` this is **reporting, not identity** — ``repro obs
+        diff`` shows it informationally and excludes it from its
+        verdict.
     versions:
         ``{"python": ..., "numpy": ..., "repro": ...}``.
     host:
@@ -180,6 +190,7 @@ class RunManifest:
     batch_fallback_reason: Optional[str] = None
     executor: Optional[Dict[str, Any]] = None
     substrate: Optional[str] = None
+    serving: Optional[Dict[str, Any]] = None
     versions: Dict[str, str] = field(default_factory=dict)
     host: Dict[str, Any] = field(default_factory=dict)
     git_rev: Optional[str] = None
@@ -232,6 +243,7 @@ def collect_manifest(
     batch_fallback_reason: Optional[str] = None,
     executor: Optional[Dict[str, Any]] = None,
     substrate: Optional[str] = None,
+    serving: Optional[Dict[str, Any]] = None,
 ) -> RunManifest:
     """Build a :class:`RunManifest` for the current process.
 
@@ -246,6 +258,9 @@ def collect_manifest(
     (:meth:`repro.exec.base.ExecutorReport.to_dict`; ``None``: no
     trials were dispatched). ``substrate`` is the billboard storage
     knob the caller requested (``None``: knob left at its default).
+    ``serving`` is the serving-layer configuration record
+    (:meth:`~repro.serve.config.ServeConfig.manifest_payload`;
+    ``None``: the artifact did not come from a service).
     """
     from repro.rng import make_seed_sequence
 
@@ -266,6 +281,7 @@ def collect_manifest(
         batch_fallback_reason=batch_fallback_reason,
         executor=executor,
         substrate=substrate,
+        serving=serving,
         versions=dict(versions),
         host=dict(host),
         git_rev=git_rev,

@@ -66,6 +66,15 @@ DECLARED_COUNTERS: FrozenSet[str] = frozenset(
         "runner.runs",
         "runner.trials_requested",
         "runner.trials_resumed",
+        "serve.connections",
+        "serve.flushes",
+        "serve.posts",
+        "serve.queries",
+        "serve.requests",
+        "serve.shed",
+        "serve.snapshots",
+        "serve.ticks",
+        "serve.votes",
         "substrate.dense",
         "substrate.fallback",
         "substrate.sparse",
@@ -79,6 +88,7 @@ DECLARED_TIMERS: FrozenSet[str] = frozenset(
     {
         "runner.run_trial_grid",
         "runner.run_trials",
+        "serve.request",
     }
 )
 

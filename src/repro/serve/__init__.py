@@ -1,0 +1,50 @@
+"""The serving layer: a live billboard behind an asyncio front-end.
+
+Everything below the socket is the same physics as the simulator — an
+append-only billboard, monotone epochs, the DISTILL phase machine — but
+driven by concurrent network traffic instead of a round loop. See
+``docs/serving.md`` for the architecture and SLO methodology.
+"""
+
+from repro.serve.client import ServeClient
+from repro.serve.config import (
+    SERVE_MAX_INFLIGHT_ENV_VAR,
+    SERVE_PORT_ENV_VAR,
+    SERVE_RATE_ENV_VAR,
+    ServeConfig,
+    default_serve_max_inflight,
+    default_serve_port,
+    default_serve_rate,
+    resolve_serve_max_inflight,
+    resolve_serve_port,
+    resolve_serve_rate,
+    set_default_serve_max_inflight,
+    set_default_serve_port,
+    set_default_serve_rate,
+)
+from repro.serve.recommender import (
+    OnlineDistillRecommender,
+    batch_recommender,
+)
+from repro.serve.service import BillboardService, ServiceThread
+
+__all__ = [
+    "SERVE_MAX_INFLIGHT_ENV_VAR",
+    "SERVE_PORT_ENV_VAR",
+    "SERVE_RATE_ENV_VAR",
+    "BillboardService",
+    "OnlineDistillRecommender",
+    "ServeClient",
+    "ServeConfig",
+    "ServiceThread",
+    "batch_recommender",
+    "default_serve_max_inflight",
+    "default_serve_port",
+    "default_serve_rate",
+    "resolve_serve_max_inflight",
+    "resolve_serve_port",
+    "resolve_serve_rate",
+    "set_default_serve_max_inflight",
+    "set_default_serve_port",
+    "set_default_serve_rate",
+]

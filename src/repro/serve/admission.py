@@ -1,0 +1,116 @@
+"""Admission control: token buckets and the in-flight gauge.
+
+Backpressure in the serving layer has three teeth, applied in order:
+
+1. **per-client token bucket** (:class:`TokenBucket`) — each connection
+   refills at ``rate`` tokens/second up to ``burst``; a request with no
+   token is shed;
+2. **global in-flight cap** (:class:`InflightGauge`) — at most
+   ``max_inflight`` admitted requests may be in processing at once;
+   the cap sheds rather than queues, so latency stays bounded;
+3. **bounded write buffer** — the service's pending-post buffer flushes
+   synchronously when full, making the overflowing writer pay the
+   flush cost (see :class:`~repro.serve.service.BillboardService`).
+
+Shedding is communicated as a typed ``shed`` frame which the client
+raises as :class:`~repro.errors.LoadShedError` — callers distinguish
+"the service protected itself" from genuine errors.
+
+Clocks are injected (``now`` parameters) rather than read here: the
+service passes ``time.monotonic()``, tests pass a scripted clock, and
+the bucket logic itself stays deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+#: admission verdicts carried in ``shed`` frames
+SHED_RATE = "rate"
+SHED_INFLIGHT = "inflight"
+
+
+class TokenBucket:
+    """A standard token bucket: ``burst`` capacity, ``rate`` tokens/s.
+
+    ``rate <= 0`` disables the bucket (every request admitted). Tokens
+    accrue continuously from the last refill timestamp; the bucket never
+    holds more than ``burst``.
+    """
+
+    __slots__ = ("rate", "burst", "tokens", "last_refill")
+
+    def __init__(self, rate: float, burst: int, now: float = 0.0) -> None:
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.last_refill = float(now)
+
+    def try_acquire(self, now: float) -> bool:
+        """Take one token at time ``now``; ``False`` means shed."""
+        if self.rate <= 0:
+            return True
+        elapsed = now - self.last_refill
+        if elapsed > 0:
+            self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+            self.last_refill = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
+class InflightGauge:
+    """The global count of admitted-but-unfinished requests.
+
+    A plain counter, not a lock: the service runs on one asyncio event
+    loop, so acquire/release pairs never race. ``try_acquire`` refuses
+    (instead of waiting) at the cap — load-shed semantics, not queueing.
+    """
+
+    __slots__ = ("limit", "inflight", "peak")
+
+    def __init__(self, limit: int) -> None:
+        self.limit = int(limit)
+        self.inflight = 0
+        #: high-water mark, reported by the ``/metrics`` query op
+        self.peak = 0
+
+    def try_acquire(self) -> bool:
+        if self.inflight >= self.limit:
+            return False
+        self.inflight += 1
+        if self.inflight > self.peak:
+            self.peak = self.inflight
+        return True
+
+    def release(self) -> None:
+        self.inflight -= 1
+        assert self.inflight >= 0, "inflight gauge released below zero"
+
+
+class Admission:
+    """One connection's admission state: its bucket plus the shared gauge.
+
+    :meth:`admit` returns ``None`` to admit or a shed reason string;
+    a successful admission holds one in-flight slot until
+    :meth:`finish`.
+    """
+
+    __slots__ = ("bucket", "gauge")
+
+    def __init__(
+        self, rate: float, burst: int, gauge: InflightGauge, now: float
+    ) -> None:
+        self.bucket = TokenBucket(rate, burst, now=now)
+        self.gauge = gauge
+
+    def admit(self, now: float) -> Optional[str]:
+        if not self.bucket.try_acquire(now):
+            return SHED_RATE
+        if not self.gauge.try_acquire():
+            return SHED_INFLIGHT
+        return None
+
+    def finish(self) -> None:
+        self.gauge.release()

@@ -1,0 +1,90 @@
+"""Admission control: token buckets, the in-flight gauge, shed reasons."""
+
+from repro.serve.admission import (
+    SHED_INFLIGHT,
+    SHED_RATE,
+    Admission,
+    InflightGauge,
+    TokenBucket,
+)
+
+
+class TestTokenBucket:
+    def test_burst_then_starve(self):
+        bucket = TokenBucket(rate=1.0, burst=3, now=0.0)
+        assert [bucket.try_acquire(0.0) for _ in range(4)] == [
+            True,
+            True,
+            True,
+            False,
+        ]
+
+    def test_refills_at_rate(self):
+        bucket = TokenBucket(rate=2.0, burst=2, now=0.0)
+        assert bucket.try_acquire(0.0) and bucket.try_acquire(0.0)
+        assert not bucket.try_acquire(0.0)
+        assert not bucket.try_acquire(0.25)  # half a token accrued
+        assert bucket.try_acquire(0.5)  # one full token at 2/s
+        assert not bucket.try_acquire(0.5)
+
+    def test_never_exceeds_burst(self):
+        bucket = TokenBucket(rate=10.0, burst=2, now=0.0)
+        assert bucket.try_acquire(0.0)
+        # a long quiet period refills to burst, not beyond
+        assert bucket.try_acquire(1000.0)
+        assert bucket.try_acquire(1000.0)
+        assert not bucket.try_acquire(1000.0)
+
+    def test_zero_rate_disables_limiting(self):
+        bucket = TokenBucket(rate=0.0, burst=1, now=0.0)
+        assert all(bucket.try_acquire(0.0) for _ in range(100))
+
+    def test_clock_going_backwards_is_harmless(self):
+        bucket = TokenBucket(rate=1.0, burst=5, now=10.0)
+        assert bucket.try_acquire(10.0)
+        assert bucket.try_acquire(3.0)  # no refill, no crash
+
+
+class TestInflightGauge:
+    def test_caps_and_releases(self):
+        gauge = InflightGauge(2)
+        assert gauge.try_acquire() and gauge.try_acquire()
+        assert not gauge.try_acquire()
+        gauge.release()
+        assert gauge.try_acquire()
+
+    def test_peak_high_water(self):
+        gauge = InflightGauge(8)
+        for _ in range(5):
+            gauge.try_acquire()
+        for _ in range(5):
+            gauge.release()
+        assert gauge.peak == 5
+        assert gauge.inflight == 0
+
+
+class TestAdmission:
+    def test_rate_shed_comes_first(self):
+        admission = Admission(1.0, 1, InflightGauge(10), now=0.0)
+        assert admission.admit(0.0) is None
+        assert admission.admit(0.0) == SHED_RATE
+        admission.finish()
+
+    def test_inflight_shed(self):
+        gauge = InflightGauge(1)
+        first = Admission(0.0, 1, gauge, now=0.0)
+        second = Admission(0.0, 1, gauge, now=0.0)
+        assert first.admit(0.0) is None
+        assert second.admit(0.0) == SHED_INFLIGHT
+        first.finish()
+        assert second.admit(0.0) is None
+        second.finish()
+
+    def test_rate_shed_holds_no_slot(self):
+        gauge = InflightGauge(1)
+        throttled = Admission(1.0, 1, gauge, now=0.0)
+        assert throttled.admit(0.0) is None
+        throttled.finish()
+        assert throttled.admit(0.0) == SHED_RATE
+        # the rate-shed request must not have leaked an in-flight slot
+        assert gauge.inflight == 0

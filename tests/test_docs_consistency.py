@@ -93,8 +93,9 @@ class TestReadme:
             assert command in readme, command
 
 
-DOCS = ("README.md", "model.md", "observability.md", "paper_to_code.md",
-        "performance.md", "robustness.md", "static_analysis.md")
+DOCS = ("README.md", "architecture.md", "model.md", "observability.md",
+        "paper_to_code.md", "performance.md", "robustness.md",
+        "serving.md", "static_analysis.md")
 
 
 def doc_texts():
@@ -259,6 +260,37 @@ class TestArtifactPathsPinned:
                 assert os.path.exists(target), (
                     f"{path} cites {cited}, which does not exist"
                 )
+
+
+class TestServingDoc:
+    """docs/serving.md is normative for `repro.serve`: every serving
+    knob trio and every `repro serve` flag must be documented there."""
+
+    def test_knob_env_vars_documented(self):
+        from repro.serve import (
+            SERVE_MAX_INFLIGHT_ENV_VAR,
+            SERVE_PORT_ENV_VAR,
+            SERVE_RATE_ENV_VAR,
+        )
+
+        doc = read("docs", "serving.md")
+        for var in (SERVE_PORT_ENV_VAR, SERVE_MAX_INFLIGHT_ENV_VAR,
+                    SERVE_RATE_ENV_VAR):
+            assert var in doc, f"{var} missing from docs/serving.md"
+
+    def test_every_serve_flag_documented(self):
+        from repro.cli import build_parser
+
+        _, top_subs = _collect_parser(build_parser())
+        assert "serve" in top_subs, "repro CLI lost the serve subcommand"
+        doc = read("docs", "serving.md")
+        for flag in _flatten_flags(top_subs["serve"]):
+            if flag in ("-h", "--help"):
+                continue
+            assert flag in doc, (
+                f"`repro serve` accepts {flag}, undocumented in "
+                "docs/serving.md"
+            )
 
 
 class TestModuleReferencesResolve:

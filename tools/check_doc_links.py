@@ -7,6 +7,11 @@ fragments name a real heading in the target document (GitHub-style
 slugs). External ``http(s)``/``mailto`` links are skipped — CI runs
 offline. Links inside fenced code blocks are ignored.
 
+In the default (no-argument) mode it also fails on **orphan pages**: a
+``docs/*.md`` file that no chain of links starting at ``docs/README.md``
+(the index every reader enters through) can reach. A page nobody can
+navigate to is documentation rot in its purest form.
+
 Usage::
 
     python tools/check_doc_links.py               # docs/*.md + README.md
@@ -101,6 +106,44 @@ def check_file(path: str, cache: Dict[str, Set[str]]) -> List[str]:
     return problems
 
 
+def markdown_targets(path: str) -> List[str]:
+    """Resolved on-disk markdown files that ``path`` links to."""
+    with open(path, encoding="utf-8") as handle:
+        text = strip_code_blocks(handle.read())
+    targets: List[str] = []
+    for target in LINK.findall(text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        file_part = target.partition("#")[0]
+        if not file_part:
+            continue
+        resolved = os.path.normpath(
+            os.path.join(os.path.dirname(path), file_part)
+        )
+        if resolved.endswith((".md", ".markdown")) and os.path.isfile(
+            resolved
+        ):
+            targets.append(resolved)
+    return targets
+
+
+def find_orphans() -> List[str]:
+    """``docs/*.md`` pages unreachable by links from ``docs/README.md``."""
+    index = os.path.join(ROOT, "docs", "README.md")
+    pages = set(glob.glob(os.path.join(ROOT, "docs", "*.md")))
+    reachable, frontier = {index}, [index]
+    while frontier:
+        for target in markdown_targets(frontier.pop()):
+            if target not in reachable:
+                reachable.add(target)
+                frontier.append(target)
+    return [
+        f"{os.path.relpath(page, ROOT)}: orphan page — no link chain "
+        "from docs/README.md reaches it"
+        for page in sorted(pages - reachable)
+    ]
+
+
 def default_files() -> List[str]:
     files = sorted(glob.glob(os.path.join(ROOT, "docs", "*.md")))
     files.append(os.path.join(ROOT, "README.md"))
@@ -118,6 +161,8 @@ def main(argv: List[str]) -> int:
     problems: List[str] = []
     for path in files:
         problems.extend(check_file(path, cache))
+    if not argv:
+        problems.extend(find_orphans())
     for problem in problems:
         print(problem, file=sys.stderr)
     checked: Tuple[int, int] = (len(files), len(problems))
